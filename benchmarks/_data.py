@@ -1,0 +1,104 @@
+"""Shared data builders for the benchmark suite.
+
+Every bench builds its inputs through the cached helpers here so corpora
+are generated once per pytest session.  ``REPRO_BENCH_SCALE`` (float,
+default 1.0) scales all record counts — raise it to stress the system,
+lower it for a quick smoke pass.  The paper's full scale (320M / 100M
+records on a dedicated server) is represented by these scaled corpora;
+EXPERIMENTS.md compares *shapes*, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+from repro.baselines import NativeGraphStore, RdfTripleStore, RowStore
+from repro.core import GraphAnalyticsEngine
+from repro.workloads import build_dataset, generate_dense_corpus, ny_road_network
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 50) -> int:
+    return max(int(n * SCALE), minimum)
+
+
+@lru_cache(maxsize=None)
+def ny_corpus(n_records: int, seed: int = 0):
+    return build_dataset("NY", n_records=n_records, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def gnu_corpus(n_records: int, seed: int = 0):
+    return build_dataset("GNU", n_records=n_records, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def dense_corpus(n_records: int, density_pct: int, universe: int = 1000, seed: int = 0):
+    return generate_dense_corpus(
+        ny_road_network(max(universe, 4000), seed=7),
+        n_records=n_records,
+        density=density_pct / 100.0,
+        universe_size=universe,
+        seed=seed,
+    )
+
+
+def engine_for(corpus, partition_width: int = 1000) -> GraphAnalyticsEngine:
+    engine = GraphAnalyticsEngine(partition_width=partition_width)
+    engine.load_columnar(corpus.record_ids(), corpus.to_columnar())
+    return engine
+
+
+@lru_cache(maxsize=None)
+def cached_engine(kind: str, n_records: int, seed: int = 0) -> GraphAnalyticsEngine:
+    corpus = ny_corpus(n_records, seed) if kind == "NY" else gnu_corpus(n_records, seed)
+    return engine_for(corpus)
+
+
+def baseline_for(name: str, corpus):
+    store = {"row": RowStore, "graph": NativeGraphStore, "rdf": RdfTripleStore}[name]()
+    store.load_records(corpus.to_records())
+    return store
+
+
+@lru_cache(maxsize=None)
+def cached_baseline(name: str, kind: str, n_records: int, seed: int = 0):
+    corpus = ny_corpus(n_records, seed) if kind == "NY" else gnu_corpus(n_records, seed)
+    return baseline_for(name, corpus)
+
+
+def union_queries(corpus, n_queries: int, n_edges: int, seed: int = 0):
+    """Graph queries of exactly ``n_edges`` edges, built by unioning pool
+    paths when a single walk is shorter than the target (used for the
+    Figure 3(b) query-size sweep, which goes past record sizes)."""
+    from repro.core import GraphQuery
+    from repro.workloads import sample_path_queries
+
+    per_path = min(n_edges, 30)
+    parts_needed = max(1, -(-n_edges // per_path))
+    stacked = sample_path_queries(
+        corpus, n_queries * parts_needed, per_path, seed=seed
+    )
+    out = []
+    for i in range(n_queries):
+        elements: set = set()
+        for part in stacked[i * parts_needed : (i + 1) * parts_needed]:
+            elements |= part.elements
+            if len(elements) >= n_edges:
+                break
+        out.append(GraphQuery(sorted(elements, key=repr)[:n_edges]))
+    return out
+
+
+RESULTS_PATH = Path(__file__).parent / "results.txt"
+
+
+def emit(line: str = "") -> None:
+    """Print a report line and append it to benchmarks/results.txt so the
+    series survive pytest's output capture."""
+    print(line)
+    with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")

@@ -1,0 +1,59 @@
+"""Ablation: vertical partition width (Section 6.1's 1000-column choice).
+
+Sweeps the sub-relation width over the same data and workload and reports
+query time and partitions joined per query.  Narrow partitions force more
+recid re-joins; a single huge partition avoids them entirely (at the cost,
+on a real system, of wider row reconstruction — our simulation charges
+only the join side, so the curve flattens above the query's spread).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _data import emit, dense_corpus, scaled
+from repro.core import GraphAnalyticsEngine
+from repro.workloads import sample_dense_queries
+
+N_RECORDS = scaled(300)
+UNIVERSE = 4000
+WIDTHS = [100, 1000, 10000]
+N_QUERIES = 8
+
+_results: dict[int, dict] = {}
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_width(benchmark, width):
+    corpus = dense_corpus(N_RECORDS, 10, universe=UNIVERSE)
+    engine = GraphAnalyticsEngine(partition_width=width)
+    engine.load_columnar(corpus.record_ids(), corpus.to_columnar())
+    queries = sample_dense_queries(corpus, N_QUERIES, 0.10, seed=23)
+    benchmark(lambda: [engine.query(q) for q in queries])
+    engine.reset_stats()
+    for q in queries:
+        engine.query(q)
+    _results[width] = {
+        "time_s": benchmark.stats.stats.mean,
+        "partitions_joined": engine.stats.partitions_joined,
+        "n_partitions": engine.relation.n_partitions,
+    }
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(f"\n=== Ablation: partition width ({UNIVERSE}-edge universe) ===")
+    emit(f"{'width':>7} {'parts':>6} {'joined':>8} {'time(s)':>10}")
+    for width in WIDTHS:
+        r = _results.get(width)
+        if not r:
+            continue
+        emit(f"{width:>7} {r['n_partitions']:>6} {r['partitions_joined']:>8} "
+              f"{r['time_s']:10.4f}")
+    if all(w in _results for w in WIDTHS):
+        # More partitions must mean more join work.
+        assert (
+            _results[100]["partitions_joined"]
+            > _results[1000]["partitions_joined"]
+            >= _results[10000]["partitions_joined"]
+        )

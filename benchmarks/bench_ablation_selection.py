@@ -1,0 +1,92 @@
+"""Ablation: view-selection strategy.
+
+Compares the paper's greedy extended-set-cover selection against two
+simpler strategies under the same budget:
+
+* ``top-frequency`` — materialize the most frequent whole queries;
+* ``random`` — materialize random candidates.
+
+Metric: total structural columns fetched by the workload after
+materialization (the paper's cost model).  The greedy chooser should never
+lose, and wins when queries share subgraphs it can cover once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _data import emit, cached_engine, ny_corpus, scaled
+from repro.core import closed_candidates, greedy_select_views
+from repro.workloads import sample_path_queries
+
+N_RECORDS = scaled(1500)
+N_QUERIES = 40
+QUERY_EDGES = 8
+BUDGET = 10
+
+_columns: dict[str, int] = {}
+
+
+def _workload():
+    return sample_path_queries(
+        ny_corpus(N_RECORDS), N_QUERIES, QUERY_EDGES,
+        distribution="zipf", zipf_s=1.4, seed=22,
+    )
+
+
+def _measure(engine, queries):
+    engine.reset_stats()
+    for q in queries:
+        engine.query(q, fetch_measures=False)
+    return engine.stats.structural_columns_fetched()
+
+
+def _select(strategy, queries):
+    candidates = closed_candidates(queries, min_support=1)
+    if strategy == "greedy":
+        keyed = {i: c for i, c in enumerate(candidates)}
+        picked = greedy_select_views(
+            [q.elements for q in queries], keyed, budget=BUDGET
+        ).selected
+        return [keyed[k] for k in picked]
+    if strategy == "top-frequency":
+        by_frequency: dict[frozenset, int] = {}
+        for q in queries:
+            by_frequency[q.elements] = by_frequency.get(q.elements, 0) + 1
+        ranked = sorted(by_frequency, key=by_frequency.get, reverse=True)
+        return ranked[:BUDGET]
+    if strategy == "random":
+        rng = np.random.default_rng(7)
+        picks = rng.choice(len(candidates), size=min(BUDGET, len(candidates)),
+                           replace=False)
+        return [candidates[i] for i in picks]
+    raise ValueError(strategy)
+
+
+@pytest.mark.parametrize("strategy", ["greedy", "top-frequency", "random"])
+def test_strategy(benchmark, strategy):
+    engine = cached_engine("NY", N_RECORDS)
+    queries = _workload()
+    engine.drop_all_views()
+    for i, elements in enumerate(_select(strategy, queries)):
+        engine.add_graph_view(elements, name=f"{strategy}{i}")
+    benchmark(lambda: [engine.query(q, fetch_measures=False) for q in queries])
+    _columns[strategy] = _measure(engine, queries)
+    engine.drop_all_views()
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    engine = cached_engine("NY", N_RECORDS)
+    engine.drop_all_views()
+    baseline = _measure(engine, _workload())
+    emit(f"\n=== Ablation: selection strategy (budget {BUDGET}) ===")
+    emit(f"  {'no views':>14}: {baseline} structural columns")
+    for strategy, cols in sorted(_columns.items()):
+        emit(f"  {strategy:>14}: {cols} structural columns "
+              f"({100 * (1 - cols / baseline):.0f}% saved)")
+    if len(_columns) == 3:
+        assert _columns["greedy"] <= _columns["random"]
+        assert _columns["greedy"] <= _columns["top-frequency"]
+        assert _columns["greedy"] < baseline

@@ -1,0 +1,89 @@
+"""Figure 11: gIndex fragments vs aggregate views, uniform aggregate queries.
+
+Same setup as Figure 10 but with SUM path-aggregation queries; the paper
+reports views up to 6× faster than gIndexQ here, because fragments only
+index structure while aggregate views also eliminate measure retrieval
+through pre-aggregation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _data import emit, cached_engine, ny_corpus, scaled
+from repro.gindex import index_fragments, mine_frequent_fragments, select_discriminative_fragments
+from repro.workloads import as_aggregate_queries, sample_path_queries
+
+N_RECORDS = scaled(1500)
+N_QUERIES = 20
+QUERY_EDGES = 6
+FEATURE_PCTS = [0, 50, 100]
+
+_results: dict[tuple[str, int], float] = {}
+_columns: dict[tuple[str, int], int] = {}
+
+
+def _workload():
+    return as_aggregate_queries(
+        sample_path_queries(ny_corpus(N_RECORDS), N_QUERIES, QUERY_EDGES, seed=14),
+        "sum",
+    )
+
+
+def _sample(engine, workload, max_rows=400):
+    rows = []
+    for q in workload:
+        rows.extend(engine.query(q.query, fetch_measures=False).rows.tolist())
+    rows = list(dict.fromkeys(rows))[:max_rows]
+    corpus = ny_corpus(N_RECORDS)
+    return [
+        frozenset(corpus.universe[i] for i in corpus.record_edges[r].tolist())
+        for r in rows
+    ]
+
+
+@pytest.mark.parametrize("pct", FEATURE_PCTS)
+@pytest.mark.parametrize("regime", ["gIndexQ", "views"])
+def test_feature_sweep(benchmark, regime, pct):
+    engine = cached_engine("NY", N_RECORDS)
+    workload = _workload()
+    engine.drop_all_views()
+    n_features = round(pct / 100 * N_QUERIES)
+    if n_features:
+        if regime == "views":
+            engine.materialize_aggregate_views(workload, budget=n_features)
+        else:
+            sample = _sample(engine, workload)
+            fragments = mine_frequent_fragments(
+                sample, min_support=max(2, len(sample) // 50), max_size=3,
+                max_fragments=3000,
+            )
+            selected = select_discriminative_fragments(
+                fragments, sample, gamma_min=1.2, max_selected=n_features
+            )
+            index_fragments(engine, selected, prefix=f"f{pct}")
+    benchmark(lambda: [engine.aggregate(q) for q in workload])
+    _results[(regime, pct)] = benchmark.stats.stats.mean
+    engine.reset_stats()
+    for q in workload:
+        engine.aggregate(q)
+    _columns[(regime, pct)] = engine.stats.total_columns_fetched()
+    engine.drop_all_views()
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(f"\n=== Figure 11: fragments vs views, {N_QUERIES} SUM queries ===")
+    regimes = ["gIndexQ", "views"]
+    emit(f"{'features%':>10} " + " ".join(f"{r:>12} {r + '-cols':>14}" for r in regimes))
+    for pct in FEATURE_PCTS:
+        cells = []
+        for r in regimes:
+            cells.append(f"{_results.get((r, pct), float('nan')):12.4f}")
+            cells.append(f"{_columns.get((r, pct), 0):>14}")
+        emit(f"{pct:>10} " + " ".join(cells))
+    # Paper shape: for aggregation, views clearly beat fragments (they
+    # eliminate measure fetches, fragments cannot).
+    full = FEATURE_PCTS[-1]
+    if all((r, full) in _columns for r in regimes):
+        assert _columns[("views", full)] < _columns[("gIndexQ", full)]

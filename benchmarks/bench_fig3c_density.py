@@ -1,0 +1,58 @@
+"""Figure 3(c): query time vs record density, four systems.
+
+Paper setup: 1M NY records over a 1000-edge universe, density (edges per
+record as a fraction of the universe) 10/20/50%; query graphs built with
+matching density.  The column store's time is flat across density; the
+others grow.
+
+Scaled here: ``scaled(500)`` records, same densities, 10 dense queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _data import emit, baseline_for, dense_corpus, engine_for, scaled
+from repro.workloads import sample_dense_queries
+
+N_RECORDS = scaled(500)
+DENSITIES = [10, 20, 50]
+N_QUERIES = 10
+
+_results: dict[tuple[str, int], float] = {}
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+def test_column_store(benchmark, density):
+    corpus = dense_corpus(N_RECORDS, density)
+    engine = engine_for(corpus)
+    queries = sample_dense_queries(corpus, N_QUERIES, density / 100.0, seed=5)
+    benchmark(lambda: [engine.query(q, fetch_measures=False) for q in queries])
+    _results[("column-store", density)] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("system", ["row", "graph", "rdf"])
+def test_baseline(benchmark, system, density):
+    corpus = dense_corpus(N_RECORDS, density)
+    store = baseline_for(system, corpus)
+    queries = sample_dense_queries(corpus, N_QUERIES, density / 100.0, seed=5)
+    benchmark(lambda: [store.query(q) for q in queries])
+    _results[(store.name, density)] = benchmark.stats.stats.mean
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(f"\n=== Figure 3(c): {N_QUERIES} density-matched queries, time (s) ===")
+    systems = ["column-store", "rdf-store", "graph-db", "row-store"]
+    emit(f"{'density%':>9} " + " ".join(f"{s:>14}" for s in systems))
+    for d in DENSITIES:
+        row = [f"{_results.get((s, d), float('nan')):14.4f}" for s in systems]
+        emit(f"{d:>9} " + " ".join(row))
+    lo, hi = DENSITIES[0], DENSITIES[-1]
+    if ("column-store", lo) in _results and ("row-store", lo) in _results:
+        column_growth = _results[("column-store", hi)] / _results[("column-store", lo)]
+        row_growth = _results[("row-store", hi)] / _results[("row-store", lo)]
+        assert column_growth <= row_growth, (
+            "paper shape: density hurts the row store more than the column store"
+        )

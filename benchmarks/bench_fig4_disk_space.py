@@ -1,0 +1,56 @@
+"""Figure 4: disk space vs record density, four systems.
+
+Paper shape: the row store (and RDF store) grow linearly with density;
+Neo4j needs the most space; the column store's (dense BAT model) footprint
+is *constant* across density because every column always stores one cell
+per record.
+
+This bench is measurement-only (no timing loop): it reports the modeled
+on-disk bytes of each store at 10/20/50% density, plus the column store's
+real persisted (sparse) footprint for reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _data import emit, baseline_for, dense_corpus, engine_for, scaled
+
+N_RECORDS = scaled(300)
+DENSITIES = [10, 20, 50]
+
+_sizes: dict[tuple[str, int], int] = {}
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+def test_sizes(benchmark, density):
+    corpus = dense_corpus(N_RECORDS, density)
+
+    def measure():
+        engine = engine_for(corpus)
+        _sizes[("column-store", density)] = engine.relation.base_size_bytes("dense")
+        _sizes[("column-sparse", density)] = engine.relation.base_size_bytes("sparse")
+        for name in ("row", "graph", "rdf"):
+            store = baseline_for(name, corpus)
+            _sizes[(store.name, density)] = store.disk_size_bytes()
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert _sizes[("column-store", density)] > 0
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(f"\n=== Figure 4: disk space (MB), {N_RECORDS} records ===")
+    systems = ["column-store", "column-sparse", "rdf-store", "graph-db", "row-store"]
+    emit(f"{'density%':>9} " + " ".join(f"{s:>14}" for s in systems))
+    for d in DENSITIES:
+        row = [f"{_sizes.get((s, d), 0) / 1e6:14.2f}" for s in systems]
+        emit(f"{d:>9} " + " ".join(row))
+    lo, hi = DENSITIES[0], DENSITIES[-1]
+    # Column store (dense model) flat; row store linear in density.
+    assert _sizes[("column-store", lo)] == _sizes[("column-store", hi)]
+    assert _sizes[("row-store", hi)] > 3 * _sizes[("row-store", lo)]
+    # Neo4j biggest at every density (paper's observation).
+    for d in DENSITIES:
+        others = [_sizes[(s, d)] for s in ("row-store", "rdf-store")]
+        assert _sizes[("graph-db", d)] > max(others) * 0.9

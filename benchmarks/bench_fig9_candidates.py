@@ -1,0 +1,84 @@
+"""Figure 9: number of candidate views vs minimum support, NY dataset.
+
+Paper shape: candidate counts (graph and aggregate views, uniform and
+Zipf workloads) drop sharply as minSup rises from ~0 and flatten out;
+candidate generation runs in well under a second either way (vs 1.5h for
+gIndex's mining, Section 7.3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _data import emit, ny_corpus, scaled
+from repro.core import closed_candidates
+from repro.core.candidates import candidate_aggregate_paths
+from repro.workloads import as_aggregate_queries, sample_path_queries
+
+N_RECORDS = scaled(1500)
+N_QUERIES = 60
+QUERY_EDGES = 8
+MIN_SUPPORTS_PCT = [2, 5, 10, 25, 50]
+
+_counts: dict[tuple[str, str, int], int] = {}
+
+
+def _queries(distribution):
+    return sample_path_queries(
+        ny_corpus(N_RECORDS), N_QUERIES, QUERY_EDGES,
+        distribution=distribution, zipf_s=1.4, seed=12,
+    )
+
+
+@pytest.mark.parametrize("distribution", ["uniform", "zipf"])
+def test_graph_view_candidates(benchmark, distribution):
+    queries = _queries(distribution)
+
+    def generate():
+        for pct in MIN_SUPPORTS_PCT:
+            min_support = max(1, round(pct / 100 * N_QUERIES))
+            cands = closed_candidates(queries, min_support=min_support)
+            _counts[("graph", distribution, pct)] = len(cands)
+
+    benchmark.pedantic(generate, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("distribution", ["uniform", "zipf"])
+def test_aggregate_view_candidates(benchmark, distribution):
+    workload = as_aggregate_queries(_queries(distribution), "sum")
+
+    def generate():
+        paths = candidate_aggregate_paths(workload, max_length=QUERY_EDGES)
+        for pct in MIN_SUPPORTS_PCT:
+            min_support = max(1, round(pct / 100 * N_QUERIES))
+            supported = [
+                p
+                for p in paths
+                if sum(
+                    1
+                    for q in workload
+                    if set(p.edges()) <= q.query.elements
+                )
+                >= min_support
+            ]
+            _counts[("aggregate", distribution, pct)] = len(supported)
+
+    benchmark.pedantic(generate, rounds=1, iterations=1)
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(f"\n=== Figure 9: candidate views vs minSup ({N_QUERIES} queries, NY) ===")
+    series = [
+        ("graph", "zipf"), ("graph", "uniform"),
+        ("aggregate", "zipf"), ("aggregate", "uniform"),
+    ]
+    emit(f"{'minSup%':>8} " + " ".join(f"{a}-{b:>7}" for a, b in series))
+    for pct in MIN_SUPPORTS_PCT:
+        cells = [f"{_counts.get((a, b, pct), 0):>12}" for a, b in series]
+        emit(f"{pct:>8} " + " ".join(cells))
+    # Paper shape: counts fall monotonically as minSup rises.
+    for key in series:
+        counts = [_counts.get((*key, pct), 0) for pct in MIN_SUPPORTS_PCT]
+        if any(counts):
+            assert all(a >= b for a, b in zip(counts, counts[1:])), key

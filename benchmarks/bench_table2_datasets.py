@@ -1,0 +1,87 @@
+"""Table 2: dataset statistics, paper vs this reproduction.
+
+Builds scaled NY and GNU corpora with the paper's generation recipe
+(random walks over the base networks, 1000-edge universe, the paper's
+min/max record sizes) and reports the Table 2 rows side by side with the
+paper's full-scale values, plus real persisted size on disk.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+
+from _data import emit, engine_for, gnu_corpus, ny_corpus, scaled
+from repro.columnstore import relation_disk_usage, save_relation
+from repro.workloads import DATASETS, corpus_statistics
+
+PAPER = {
+    "NY": {
+        "n_records": 320_000_000,
+        "n_measures": 27_300_000_000,
+        "size_gb": 241,
+        "distinct_edge_ids": 1000,
+        "min_edges": 35,
+        "max_edges": 100,
+        "avg_edges": 85,
+    },
+    "GNU": {
+        "n_records": 100_000_000,
+        "n_measures": 7_500_000_000,
+        "size_gb": 68,
+        "distinct_edge_ids": 1000,
+        "min_edges": 45,
+        "max_edges": 100,
+        "avg_edges": 75,
+    },
+}
+
+SIZES = {"NY": scaled(4000), "GNU": scaled(2500)}
+
+_stats: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("kind", ["NY", "GNU"])
+def test_build_and_measure(benchmark, kind):
+    corpus = ny_corpus(SIZES[kind]) if kind == "NY" else gnu_corpus(SIZES[kind])
+
+    def measure():
+        stats = corpus_statistics(corpus)
+        engine = engine_for(corpus)
+        with tempfile.TemporaryDirectory() as tmp:
+            save_relation(engine.relation, tmp)
+            stats["disk_bytes"] = relation_disk_usage(tmp)
+        stats["disk_bytes_model"] = engine.relation.base_size_bytes("sparse")
+        _stats[kind] = stats
+        return stats
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert _stats[kind]["n_records"] == SIZES[kind]
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit("\n=== Table 2: datasets (paper full scale vs this run) ===")
+    for kind in ("NY", "GNU"):
+        ours = _stats.get(kind)
+        if not ours:
+            continue
+        paper = PAPER[kind]
+        spec = DATASETS[kind]
+        emit(f"\n{kind}:")
+        emit(f"  records:        paper {paper['n_records']:>14,} | ours {ours['n_records']:>10,}")
+        emit(f"  measures:       paper {paper['n_measures']:>14,} | ours {ours['n_measures']:>10,}")
+        emit(f"  size on disk:   paper {paper['size_gb']:>11} GB | ours {ours['disk_bytes'] / 1e6:>8.1f} MB")
+        emit(f"  edge universe:  paper {paper['distinct_edge_ids']:>14,} | ours {ours['distinct_edge_ids']:>10,}")
+        emit(f"  edges/record:   paper {paper['min_edges']}-{paper['max_edges']} (avg {paper['avg_edges']})"
+              f" | ours {ours['min_edges_per_record']}-{ours['max_edges_per_record']}"
+              f" (avg {ours['avg_edges_per_record']})")
+        # Invariants the generator must honour.
+        assert ours["distinct_edge_ids"] == paper["distinct_edge_ids"]
+        assert ours["max_edges_per_record"] <= spec.max_edges
+        # Bytes per measure in the same order of magnitude as the paper
+        # (241 GB / 27.3 G measures ≈ 9 bytes per measure).
+        ours_bpm = ours["disk_bytes"] / ours["n_measures"]
+        paper_bpm = paper["size_gb"] * 1e9 / paper["n_measures"]
+        assert 0.2 < ours_bpm / paper_bpm < 20

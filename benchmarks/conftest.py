@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Makes the ``benchmarks`` directory importable as a package for the shared
+``_data`` helpers and prints the active scale factor once per session.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _data import SCALE  # noqa: E402
+
+
+def pytest_report_header(config):
+    return f"repro benchmark scale: {SCALE} (set REPRO_BENCH_SCALE to change)"

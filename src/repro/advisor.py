@@ -1,0 +1,152 @@
+"""Workload-adaptive view management.
+
+The paper's selection algorithm takes a *known* workload (Section 5.2);
+its citation [6] (Kotidis & Roussopoulos, "A Case for Dynamic View
+Management") argues views should instead track the observed query stream.
+:class:`AdaptiveViewAdvisor` closes that loop for graph views:
+
+* every executed query is recorded in a sliding window;
+* :meth:`refresh` re-runs candidate generation + greedy selection on the
+  window and reconciles the engine's materialized views — dropping views
+  the current window no longer wants and materializing the newly chosen
+  ones, under a fixed budget;
+* hysteresis (``keep_fraction``) avoids thrashing: a view already
+  materialized is kept if it still covers any window query, until the
+  budget forces it out.
+
+The advisor only manages views it created (named ``adv*``), so manually
+materialized views and gIndex fragment columns are left alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .core.candidates import closed_candidates
+from .core.engine import GraphAnalyticsEngine
+from .core.query import GraphQuery
+from .core.record import Edge
+from .core.setcover import greedy_select_views
+
+__all__ = ["AdaptiveViewAdvisor"]
+
+
+class AdaptiveViewAdvisor:
+    """Observe queries, keep the view set tuned to the recent workload."""
+
+    def __init__(
+        self,
+        engine: GraphAnalyticsEngine,
+        budget: int,
+        window: int = 200,
+        min_support: int = 1,
+        refresh_every: int | None = None,
+    ):
+        if budget < 0:
+            raise ValueError("budget must be >= 0")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.engine = engine
+        self.budget = budget
+        self.window: deque[GraphQuery] = deque(maxlen=window)
+        self.min_support = min_support
+        self.refresh_every = refresh_every
+        self._since_refresh = 0
+        self._managed: dict[str, frozenset[Edge]] = {}
+        self.refreshes = 0
+
+    # -- observation -------------------------------------------------------------
+
+    def observe(self, query: GraphQuery) -> None:
+        """Record one executed query; auto-refresh if configured."""
+        self.window.append(query)
+        self._since_refresh += 1
+        if (
+            self.refresh_every is not None
+            and self._since_refresh >= self.refresh_every
+        ):
+            self.refresh()
+
+    def execute(self, query: GraphQuery, **kwargs):
+        """Convenience: run the query on the engine and observe it."""
+        self.observe(query)
+        return self.engine.query(query, **kwargs)
+
+    # -- reconciliation -------------------------------------------------------------
+
+    def desired_views(self) -> list[frozenset[Edge]]:
+        """What the greedy selector wants for the current window."""
+        workload = list(self.window)
+        if not workload:
+            return []
+        candidates = closed_candidates(workload, min_support=self.min_support)
+        keyed = {i: elems for i, elems in enumerate(candidates)}
+        selection = greedy_select_views(
+            [q.elements for q in workload], keyed, budget=self.budget
+        )
+        return [keyed[k] for k in selection.selected]
+
+    def refresh(self) -> dict:
+        """Reconcile materialized views with the current window's wishes.
+
+        Returns a summary: ``{"kept": [...], "added": [...], "dropped": [...]}``.
+        """
+        self._since_refresh = 0
+        self.refreshes += 1
+        desired = self.desired_views()
+        desired_set = set(desired)
+
+        kept: list[str] = []
+        dropped: list[str] = []
+        # Keep managed views still wanted; also keep (within budget) those
+        # that still help some window query, to damp oscillation.
+        still_useful = {
+            name: elems
+            for name, elems in self._managed.items()
+            if elems in desired_set
+            or any(elems <= q.elements for q in self.window)
+        }
+        survivors = dict(list(still_useful.items())[: self.budget])
+        for name, elems in list(self._managed.items()):
+            if name in survivors:
+                kept.append(name)
+            else:
+                dropped.append(name)
+
+        # The engine has no per-view drop; rebuild its managed subset.
+        if dropped:
+            unmanaged = {
+                name: view
+                for name, view in self.engine.graph_views.items()
+                if name not in self._managed
+            }
+            self.engine.drop_all_views()
+            for name, view in unmanaged.items():
+                self.engine.add_graph_view(view.elements, name=name)
+            for name, elems in survivors.items():
+                self.engine.add_graph_view(elems, name=name)
+
+        added: list[str] = []
+        survivor_sets = set(survivors.values())
+        for elems in desired:
+            if len(survivors) + len(added) >= self.budget:
+                break
+            if elems in survivor_sets:
+                continue
+            name = f"adv{self.refreshes}_{len(added)}"
+            self.engine.add_graph_view(elems, name=name)
+            survivor_sets.add(elems)
+            added.append(name)
+
+        self._managed = {
+            **survivors,
+            **{
+                name: self.engine.graph_views[name].elements
+                for name in added
+            },
+        }
+        return {"kept": kept, "added": added, "dropped": dropped}
+
+    @property
+    def managed_views(self) -> dict[str, frozenset[Edge]]:
+        return dict(self._managed)

@@ -1,0 +1,19 @@
+"""Comparison systems of Section 7.2: row store, native graph DB, RDF store.
+
+Each reproduces its system's storage layout and evaluation strategy (see
+module docstrings); all share the :class:`BaselineStore` interface so the
+benchmarks drive them uniformly.
+"""
+
+from .base import BaselineResult, BaselineStore
+from .graphdb import NativeGraphStore
+from .rdfstore import RdfTripleStore
+from .rowstore import RowStore
+
+__all__ = [
+    "BaselineResult",
+    "BaselineStore",
+    "NativeGraphStore",
+    "RdfTripleStore",
+    "RowStore",
+]

@@ -1,0 +1,64 @@
+"""Common protocol for the comparison systems of Section 7.2.
+
+The paper compares its column-store framework against (i) a row-oriented
+RDBMS storing (recid, edgeid, measure) triplets, (ii) the Neo4j native
+graph database and (iii) a commercial RDF store.  We reproduce each
+system's *evaluation strategy* rather than a vendor binary: what makes the
+architectures differ is how they store records and join structural
+conditions, and that is what the simulations implement.
+
+A deliberate modeling choice: the column store executes vectorized
+(column-at-a-time, as MonetDB does), while the baselines process data
+tuple-at-a-time through Python-level loops — mirroring the interpretive
+row/record-at-a-time pipelines of the systems they stand in for.  The
+orders-of-magnitude gaps of Figure 3 come from exactly this architectural
+difference, reproduced here in miniature.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+
+from ..core.query import GraphQuery, PathAggregationQuery
+from ..core.record import GraphRecord
+
+__all__ = ["BaselineStore"]
+
+
+class BaselineStore(ABC):
+    """Load / query / aggregate interface shared by all baselines."""
+
+    name: str = "baseline"
+
+    @abstractmethod
+    def load_records(self, records: Iterable[GraphRecord]) -> int:
+        """Ingest graph records; returns the number loaded."""
+
+    @abstractmethod
+    def query(self, query: GraphQuery) -> "BaselineResult":
+        """Records containing the query graph, with their measures."""
+
+    @abstractmethod
+    def aggregate(self, query: PathAggregationQuery) -> dict:
+        """Per matching record id, dict of maximal path → aggregate."""
+
+    @abstractmethod
+    def disk_size_bytes(self) -> int:
+        """Modeled on-disk footprint (constants documented per store)."""
+
+
+class BaselineResult:
+    """Query answer: record ids plus per-record element measures."""
+
+    __slots__ = ("record_ids", "measures")
+
+    def __init__(self, record_ids: Sequence, measures: Sequence[dict]):
+        self.record_ids = list(record_ids)
+        self.measures = list(measures)
+
+    def __len__(self) -> int:
+        return len(self.record_ids)
+
+    def n_measure_values(self) -> int:
+        return sum(len(m) for m in self.measures)

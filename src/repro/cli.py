@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``load`` — convert a JSONL/CSV record file into a persisted relation
+  directory (the on-disk column store);
+* ``query`` — run a DSL query against a persisted relation;
+* ``aggregate`` — run a DSL path-aggregation query;
+* ``stats`` — show a persisted relation's shape and footprint;
+* ``demo`` — build a small synthetic corpus and run a sample session.
+
+Examples::
+
+    python -m repro load records.jsonl ./db
+    python -m repro query ./db "A -> D -> E"
+    python -m repro aggregate ./db "SUM A -> D -> E"
+    python -m repro stats ./db
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path as FsPath
+
+from .columnstore import load_relation, relation_disk_usage, save_relation
+from .core import GraphAnalyticsEngine, GraphQuery
+from .dsl import parse_aggregation, parse_query
+from .io import read_csv_triplets, read_jsonl
+
+__all__ = ["main"]
+
+_META = "engine_meta.json"
+
+
+def _save_engine(engine: GraphAnalyticsEngine, directory: FsPath) -> None:
+    save_relation(engine.relation, directory)
+    meta = {
+        "record_ids": [str(r) for r in engine.record_ids_at(range(engine.n_records))],
+        "edges": [list(edge) for edge in engine.catalog],
+        "measured_nodes": sorted(str(n) for n in engine.measured_nodes),
+    }
+    (directory / _META).write_text(json.dumps(meta))
+
+
+def _load_engine(directory: FsPath) -> GraphAnalyticsEngine:
+    engine = GraphAnalyticsEngine()
+    relation = load_relation(directory)
+    relation.collector = engine.collector
+    engine.relation = relation
+    meta = json.loads((directory / _META).read_text())
+    engine._record_ids = meta["record_ids"]
+    for edge in meta["edges"]:
+        engine.catalog.intern(tuple(edge))
+    engine._measured_nodes = set(meta["measured_nodes"])
+    return engine
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    source = FsPath(args.source)
+    if args.format == "auto":
+        fmt = "csv" if source.suffix.lower() == ".csv" else "jsonl"
+    else:
+        fmt = args.format
+    reader = read_csv_triplets if fmt == "csv" else read_jsonl
+    engine = GraphAnalyticsEngine()
+    loaded = engine.load_records(reader(source))
+    directory = FsPath(args.database)
+    directory.mkdir(parents=True, exist_ok=True)
+    _save_engine(engine, directory)
+    print(f"loaded {loaded} records "
+          f"({engine.relation.n_element_columns} distinct elements) "
+          f"into {directory}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    engine = _load_engine(FsPath(args.database))
+    expr = parse_query(args.query)
+    result = engine.query(expr, fetch_measures=not args.ids_only)
+    print(f"{len(result)} matching records")
+    limit = args.limit if args.limit else len(result)
+    for i, record_id in enumerate(result.record_ids[:limit]):
+        if args.ids_only:
+            print(record_id)
+        else:
+            measures = {
+                f"{u}->{v}": result.measures[(u, v)][i]
+                for (u, v) in sorted(result.measures, key=repr)
+                if not _is_nan(result.measures[(u, v)][i])
+            }
+            print(f"{record_id}: {measures}")
+    if len(result) > limit:
+        print(f"... ({len(result) - limit} more)")
+    return 0
+
+
+def _cmd_aggregate(args: argparse.Namespace) -> int:
+    engine = _load_engine(FsPath(args.database))
+    query = parse_aggregation(args.query)
+    result = engine.aggregate(query)
+    print(f"{len(result)} matching records")
+    limit = args.limit if args.limit else len(result)
+    for path, values in result.path_values.items():
+        print(f"path {path}:")
+        for record_id, value in list(zip(result.record_ids, values))[:limit]:
+            print(f"  {record_id}: {value:g}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    directory = FsPath(args.database)
+    engine = _load_engine(directory)
+    relation = engine.relation
+    print(f"records:            {relation.n_records}")
+    print(f"element columns:    {relation.n_element_columns}")
+    print(f"partitions:         {relation.n_partitions} "
+          f"(width {relation.partition_width})")
+    print(f"graph views:        {len(relation.graph_view_names())}")
+    print(f"aggregate views:    {len(relation.aggregate_view_names())}")
+    print(f"size (model):       {relation.disk_size_bytes() / 1e6:.2f} MB")
+    print(f"size (on disk):     {relation_disk_usage(directory) / 1e6:.2f} MB")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .workloads import build_dataset, sample_path_queries
+
+    corpus = build_dataset("NY", n_records=args.records, seed=7)
+    engine = GraphAnalyticsEngine()
+    engine.load_columnar(corpus.record_ids(), corpus.to_columnar())
+    queries = sample_path_queries(corpus, 5, 5, seed=3)
+    print(f"demo corpus: {engine.n_records} records, "
+          f"{engine.relation.n_element_columns} elements")
+    for query in queries:
+        result = engine.query(query, fetch_measures=False)
+        print(f"  {len(result):5d} records contain "
+              f"{' -> '.join(str(n) for n in sorted(query.nodes()))[:60]}")
+    return 0
+
+
+def _is_nan(value: float) -> bool:
+    return value != value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graph analytics on massive collections of small graphs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_load = sub.add_parser("load", help="ingest records into a database directory")
+    p_load.add_argument("source", help="records file (.jsonl or .csv)")
+    p_load.add_argument("database", help="output database directory")
+    p_load.add_argument("--format", choices=["auto", "jsonl", "csv"], default="auto")
+    p_load.set_defaults(func=_cmd_load)
+
+    p_query = sub.add_parser("query", help="run a DSL graph query")
+    p_query.add_argument("database")
+    p_query.add_argument("query", help="e.g. \"A -> D -> E\" or \"{(C,H)} OR {(F,J)}\"")
+    p_query.add_argument("--limit", type=int, default=20)
+    p_query.add_argument("--ids-only", action="store_true")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_agg = sub.add_parser("aggregate", help="run a DSL path-aggregation query")
+    p_agg.add_argument("database")
+    p_agg.add_argument("query", help='e.g. "SUM A -> D -> E"')
+    p_agg.add_argument("--limit", type=int, default=20)
+    p_agg.set_defaults(func=_cmd_aggregate)
+
+    p_stats = sub.add_parser("stats", help="show a database's shape and size")
+    p_stats.add_argument("database")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_demo = sub.add_parser("demo", help="run a synthetic demo session")
+    p_demo.add_argument("--records", type=int, default=500)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

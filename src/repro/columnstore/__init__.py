@@ -1,0 +1,27 @@
+"""Column-oriented storage substrate (the paper's MonetDB substitute).
+
+Packed bitmaps, NULL-masked measure columns, the vertically partitioned
+master relation, I/O cost accounting in the paper's cost-model units, and
+``.npy``-per-column persistence.
+"""
+
+from .bitmap import Bitmap, BitmapBuilder
+from .column import MeasureColumn, MeasureColumnBuilder
+from .iostats import IOStats, IOStatsCollector
+from .persistence import load_relation, relation_disk_usage, save_relation
+from .table import MasterRelation
+from .wah import WahBitmap
+
+__all__ = [
+    "Bitmap",
+    "BitmapBuilder",
+    "MeasureColumn",
+    "MeasureColumnBuilder",
+    "IOStats",
+    "IOStatsCollector",
+    "MasterRelation",
+    "WahBitmap",
+    "save_relation",
+    "load_relation",
+    "relation_disk_usage",
+]

@@ -1,0 +1,321 @@
+"""Packed bitmap columns.
+
+The paper (Section 4.2) indexes every edge id with a bitmap column whose
+*i*-th bit tells whether graph record *i* contains that edge.  Evaluating a
+graph query then reduces to ANDing the bitmaps of the query's edges — no
+joins.  This module provides the bitmap data type used for those columns and
+for materialized graph views (Section 5.1.1), which are simply precomputed
+bitmap conjunctions stored as additional columns.
+
+Bits are packed 64 per word into a ``numpy.uint64`` array so that the
+boolean algebra (AND / OR / AND NOT / NOT) and population counts run as
+vectorized word-level operations, mirroring how a column store executes the
+same calculations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Bitmap", "BitmapBuilder"]
+
+_WORD_BITS = 64
+# Lookup table: popcount of every byte value, used to count set bits fast.
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint64)
+
+
+def _words_needed(length: int) -> int:
+    return (length + _WORD_BITS - 1) // _WORD_BITS
+
+
+class Bitmap:
+    """A fixed-length sequence of bits supporting boolean algebra.
+
+    Instances are value objects: every operator returns a new ``Bitmap``.
+    All operands of a binary operation must have the same ``length`` — the
+    number of graph records in the relation — exactly as all bitmap columns
+    of the master relation share one length.
+    """
+
+    __slots__ = ("_words", "_length")
+
+    def __init__(self, length: int, words: np.ndarray | None = None):
+        if length < 0:
+            raise ValueError(f"bitmap length must be >= 0, got {length}")
+        self._length = length
+        n_words = _words_needed(length)
+        if words is None:
+            self._words = np.zeros(n_words, dtype=np.uint64)
+        else:
+            if words.dtype != np.uint64 or words.shape != (n_words,):
+                raise ValueError("words array has wrong dtype or shape")
+            self._words = words
+            self._mask_tail()
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def zeros(cls, length: int) -> "Bitmap":
+        """All-clear bitmap of ``length`` bits."""
+        return cls(length)
+
+    @classmethod
+    def ones(cls, length: int) -> "Bitmap":
+        """All-set bitmap of ``length`` bits."""
+        bm = cls(length)
+        bm._words[:] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        bm._mask_tail()
+        return bm
+
+    @classmethod
+    def from_indices(cls, length: int, indices: Iterable[int]) -> "Bitmap":
+        """Bitmap with exactly the given bit positions set."""
+        idx = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices, dtype=np.int64)
+        bm = cls(length)
+        if idx.size == 0:
+            return bm
+        if idx.min() < 0 or idx.max() >= length:
+            raise IndexError("bit index out of range")
+        words = idx // _WORD_BITS
+        bits = np.uint64(1) << (idx % _WORD_BITS).astype(np.uint64)
+        np.bitwise_or.at(bm._words, words, bits)
+        return bm
+
+    @classmethod
+    def from_bools(cls, flags: Iterable[bool]) -> "Bitmap":
+        """Bitmap from an iterable of booleans (index ``i`` set iff truthy)."""
+        arr = np.asarray(list(flags) if not isinstance(flags, np.ndarray) else flags, dtype=bool)
+        bm = cls(len(arr))
+        if arr.size:
+            bm._words = np.packbits(arr, bitorder="little").view(np.uint8)
+            padded = np.zeros(_words_needed(len(arr)) * 8, dtype=np.uint8)
+            padded[: bm._words.size] = bm._words
+            bm._words = padded.view(np.uint64)
+        return bm
+
+    # -- internals --------------------------------------------------------
+
+    def _mask_tail(self) -> None:
+        """Clear bits beyond ``length`` in the final word."""
+        tail = self._length % _WORD_BITS
+        if tail and self._words.size:
+            mask = (np.uint64(1) << np.uint64(tail)) - np.uint64(1)
+            self._words[-1] &= mask
+
+    def _check_same_length(self, other: "Bitmap") -> None:
+        if self._length != other._length:
+            raise ValueError(
+                f"bitmap length mismatch: {self._length} vs {other._length}"
+            )
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Number of addressable bits (number of records in the relation)."""
+        return self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int) -> bool:
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("bit index out of range")
+        word, bit = divmod(index, _WORD_BITS)
+        return bool((self._words[word] >> np.uint64(bit)) & np.uint64(1))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self._length == other._length and bool(
+            np.array_equal(self._words, other._words)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._length, self._words.tobytes()))
+
+    def __repr__(self) -> str:
+        shown = list(self.iter_indices())
+        if len(shown) > 8:
+            inner = ", ".join(map(str, shown[:8])) + ", ..."
+        else:
+            inner = ", ".join(map(str, shown))
+        return f"Bitmap(length={self._length}, set=[{inner}])"
+
+    # -- boolean algebra ---------------------------------------------------
+
+    def __and__(self, other: "Bitmap") -> "Bitmap":
+        self._check_same_length(other)
+        return Bitmap(self._length, self._words & other._words)
+
+    def __or__(self, other: "Bitmap") -> "Bitmap":
+        self._check_same_length(other)
+        return Bitmap(self._length, self._words | other._words)
+
+    def __xor__(self, other: "Bitmap") -> "Bitmap":
+        self._check_same_length(other)
+        return Bitmap(self._length, self._words ^ other._words)
+
+    def __sub__(self, other: "Bitmap") -> "Bitmap":
+        """AND NOT — the paper's ``[Gq1 AND NOT Gq2]`` set difference."""
+        self._check_same_length(other)
+        return Bitmap(self._length, self._words & ~other._words)
+
+    def __invert__(self) -> "Bitmap":
+        return Bitmap(self._length, ~self._words)
+
+    @staticmethod
+    def and_all(bitmaps: Iterable["Bitmap"]) -> "Bitmap":
+        """Conjunction of one or more bitmaps (``bitmap(B)`` in the paper).
+
+        Raises ``ValueError`` on an empty iterable: the conjunction of zero
+        structural conditions is undefined for a query.
+        """
+        it = iter(bitmaps)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("and_all() requires at least one bitmap") from None
+        acc = first._words.copy()
+        length = first._length
+        for bm in it:
+            if bm._length != length:
+                raise ValueError("bitmap length mismatch in and_all()")
+            acc &= bm._words
+        return Bitmap(length, acc)
+
+    @staticmethod
+    def or_all(bitmaps: Iterable["Bitmap"]) -> "Bitmap":
+        """Disjunction of one or more bitmaps."""
+        it = iter(bitmaps)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("or_all() requires at least one bitmap") from None
+        acc = first._words.copy()
+        length = first._length
+        for bm in it:
+            if bm._length != length:
+                raise ValueError("bitmap length mismatch in or_all()")
+            acc |= bm._words
+        return Bitmap(length, acc)
+
+    # -- queries -----------------------------------------------------------
+
+    def count(self) -> int:
+        """Number of set bits (cardinality of the answer set)."""
+        as_bytes = self._words.view(np.uint8)
+        return int(_POPCOUNT8[as_bytes].sum())
+
+    def any(self) -> bool:
+        """True iff at least one bit is set."""
+        return bool(self._words.any())
+
+    def all(self) -> bool:
+        """True iff every bit in range is set."""
+        return self.count() == self._length
+
+    def to_indices(self) -> np.ndarray:
+        """Positions of set bits, ascending, as an int64 array."""
+        if self._length == 0:
+            return np.empty(0, dtype=np.int64)
+        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")
+        return np.nonzero(bits[: self._length])[0].astype(np.int64)
+
+    def to_bools(self) -> np.ndarray:
+        """Dense boolean array of length ``length``."""
+        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")
+        return bits[: self._length].astype(bool)
+
+    def iter_indices(self) -> Iterator[int]:
+        """Iterate positions of set bits in ascending order."""
+        return iter(self.to_indices().tolist())
+
+    def isdisjoint(self, other: "Bitmap") -> bool:
+        self._check_same_length(other)
+        return not bool((self._words & other._words).any())
+
+    def issubset(self, other: "Bitmap") -> bool:
+        """True iff every set bit of self is also set in other."""
+        self._check_same_length(other)
+        return not bool((self._words & ~other._words).any())
+
+    # -- mutation-free derivation -------------------------------------------
+
+    def set(self, index: int) -> "Bitmap":
+        """Return a copy with ``index`` set."""
+        if not 0 <= index < self._length:
+            raise IndexError("bit index out of range")
+        words = self._words.copy()
+        word, bit = divmod(index, _WORD_BITS)
+        words[word] |= np.uint64(1) << np.uint64(bit)
+        return Bitmap(self._length, words)
+
+    def clear(self, index: int) -> "Bitmap":
+        """Return a copy with ``index`` cleared."""
+        if not 0 <= index < self._length:
+            raise IndexError("bit index out of range")
+        words = self._words.copy()
+        word, bit = divmod(index, _WORD_BITS)
+        words[word] &= ~(np.uint64(1) << np.uint64(bit))
+        return Bitmap(self._length, words)
+
+    def extended(self, flags: Iterable[bool]) -> "Bitmap":
+        """Return a copy with the given bits appended at the end.
+
+        Used for incremental view maintenance: when records are appended
+        to the relation, each view bitmap grows by one (pre-computed) bit
+        per new record.
+        """
+        flags = list(flags)
+        if not flags:
+            return self
+        combined = np.concatenate([self.to_bools(), np.asarray(flags, dtype=bool)])
+        return Bitmap.from_bools(combined)
+
+    def resized(self, new_length: int) -> "Bitmap":
+        """Return a copy truncated or zero-extended to ``new_length`` bits."""
+        new_words = np.zeros(_words_needed(new_length), dtype=np.uint64)
+        n = min(new_words.size, self._words.size)
+        new_words[:n] = self._words[:n]
+        return Bitmap(new_length, new_words)
+
+    def nbytes(self) -> int:
+        """Storage footprint in bytes of the packed representation."""
+        return int(self._words.nbytes)
+
+    def words(self) -> np.ndarray:
+        """Read-only view of the packed uint64 words (for persistence)."""
+        view = self._words.view()
+        view.setflags(write=False)
+        return view
+
+
+class BitmapBuilder:
+    """Incrementally build a bitmap while records are appended.
+
+    The master relation appends one row per graph record; each edge bitmap
+    gets one new bit.  The builder amortizes growth and finalizes into an
+    immutable :class:`Bitmap`.
+    """
+
+    def __init__(self) -> None:
+        self._flags: list[bool] = []
+
+    def append(self, flag: bool) -> None:
+        """Append one bit (True iff the new record contains the edge)."""
+        self._flags.append(bool(flag))
+
+    def extend(self, flags: Iterable[bool]) -> None:
+        self._flags.extend(bool(f) for f in flags)
+
+    def __len__(self) -> int:
+        return len(self._flags)
+
+    def build(self) -> Bitmap:
+        """Finalize into an immutable :class:`Bitmap`."""
+        return Bitmap.from_bools(self._flags)

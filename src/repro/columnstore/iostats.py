@@ -1,0 +1,86 @@
+"""I/O cost accounting for the column-store cost model.
+
+Section 5.1 of the paper adopts a simple cost model: every bitmap column has
+the same retrieval cost (all bitmaps have the number-of-records length), so
+the cost of evaluating a query is proportional to the **number of bitmap
+columns fetched**, and — for aggregate queries — to the number of measure
+columns/values fetched.  The view-selection benefit function and the
+experiment breakdowns (Figures 6–8 split "fetch measures" from "rest of
+query") are stated in those units.
+
+``IOStats`` counts exactly those quantities.  The master relation reports
+every column touch to the currently installed collector, so benchmarks can
+report both wall-clock time and model cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IOStats", "IOStatsCollector"]
+
+
+@dataclass
+class IOStats:
+    """Counters for one query (or one batch of queries)."""
+
+    bitmap_columns_fetched: int = 0
+    measure_columns_fetched: int = 0
+    measure_values_fetched: int = 0
+    view_bitmaps_fetched: int = 0
+    view_measure_columns_fetched: int = 0
+    partitions_joined: int = 0
+
+    def total_columns_fetched(self) -> int:
+        """The paper's cost unit: total columns retrieved from disk."""
+        return (
+            self.bitmap_columns_fetched
+            + self.measure_columns_fetched
+            + self.view_bitmaps_fetched
+            + self.view_measure_columns_fetched
+        )
+
+    def structural_columns_fetched(self) -> int:
+        """Columns fetched for the structural condition (the "rest of query"
+        part of the paper's time breakdown): edge bitmaps plus view bitmaps."""
+        return self.bitmap_columns_fetched + self.view_bitmaps_fetched
+
+    def measure_fetch_columns(self) -> int:
+        """Columns fetched to return measures (the mandatory bottom part of
+        the Figures 6–7 breakdown)."""
+        return self.measure_columns_fetched + self.view_measure_columns_fetched
+
+    def add(self, other: "IOStats") -> None:
+        self.bitmap_columns_fetched += other.bitmap_columns_fetched
+        self.measure_columns_fetched += other.measure_columns_fetched
+        self.measure_values_fetched += other.measure_values_fetched
+        self.view_bitmaps_fetched += other.view_bitmaps_fetched
+        self.view_measure_columns_fetched += other.view_measure_columns_fetched
+        self.partitions_joined += other.partitions_joined
+
+
+@dataclass
+class IOStatsCollector:
+    """Accumulates :class:`IOStats` across queries; usable as a context."""
+
+    stats: IOStats = field(default_factory=IOStats)
+
+    def reset(self) -> None:
+        self.stats = IOStats()
+
+    def record_bitmap_fetch(self, is_view: bool = False) -> None:
+        if is_view:
+            self.stats.view_bitmaps_fetched += 1
+        else:
+            self.stats.bitmap_columns_fetched += 1
+
+    def record_measure_fetch(self, n_values: int, is_view: bool = False) -> None:
+        if is_view:
+            self.stats.view_measure_columns_fetched += 1
+        else:
+            self.stats.measure_columns_fetched += 1
+        self.stats.measure_values_fetched += n_values
+
+    def record_partition_join(self, n_partitions: int) -> None:
+        if n_partitions > 1:
+            self.stats.partitions_joined += n_partitions

@@ -1,0 +1,77 @@
+"""Disk persistence for the master relation.
+
+Stores each column as ``.npy`` files in a directory — one pair
+(values, validity words) per measure column, one word file per view bitmap
+— plus a small JSON manifest.  This mirrors a column store's one-file-per-
+column layout and lets the Table 2 / Figure 4 benchmarks report genuine
+size-on-disk numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FsPath
+
+import numpy as np
+
+from .bitmap import Bitmap
+from .column import MeasureColumn
+from .table import MasterRelation
+
+__all__ = ["save_relation", "load_relation", "relation_disk_usage"]
+
+_MANIFEST = "manifest.json"
+
+
+def save_relation(relation: MasterRelation, directory: str | FsPath) -> None:
+    """Write the relation's columns and views under ``directory``."""
+    root = FsPath(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "n_records": relation.n_records,
+        "partition_width": relation.partition_width,
+        "element_ids": relation.element_ids(),
+        "graph_views": relation.graph_view_names(),
+        "aggregate_views": relation.aggregate_view_names(),
+    }
+    for edge_id in relation.element_ids():
+        column = relation.column_for_persistence(edge_id)
+        rows = column.validity.to_indices()
+        np.save(root / f"m{edge_id}_rows.npy", rows)
+        np.save(root / f"m{edge_id}_vals.npy", column.take(rows))
+    for name, bitmap in relation.graph_views_for_persistence().items():
+        np.save(root / f"gv_{name}.npy", np.asarray(bitmap.words()))
+    for name, column in relation.aggregate_views_for_persistence().items():
+        rows = column.validity.to_indices()
+        np.save(root / f"av_{name}_rows.npy", rows)
+        np.save(root / f"av_{name}_vals.npy", column.take(rows))
+    (root / _MANIFEST).write_text(json.dumps(manifest))
+
+
+def load_relation(directory: str | FsPath) -> MasterRelation:
+    """Reconstruct a relation previously written by :func:`save_relation`."""
+    root = FsPath(directory)
+    manifest = json.loads((root / _MANIFEST).read_text())
+    relation = MasterRelation(partition_width=manifest["partition_width"])
+    relation.set_record_count(manifest["n_records"])
+    for edge_id in manifest["element_ids"]:
+        rows = np.load(root / f"m{edge_id}_rows.npy")
+        vals = np.load(root / f"m{edge_id}_vals.npy")
+        relation.load_sparse_column(edge_id, rows, vals)
+    for name in manifest["graph_views"]:
+        words = np.load(root / f"gv_{name}.npy").astype(np.uint64)
+        relation.add_graph_view(name, Bitmap(manifest["n_records"], words))
+    for name in manifest["aggregate_views"]:
+        rows = np.load(root / f"av_{name}_rows.npy")
+        vals = np.load(root / f"av_{name}_vals.npy")
+        values = np.full(manifest["n_records"], np.nan)
+        values[rows] = vals
+        validity = Bitmap.from_indices(manifest["n_records"], rows)
+        relation.add_aggregate_view(name, MeasureColumn(values, validity))
+    return relation
+
+
+def relation_disk_usage(directory: str | FsPath) -> int:
+    """Total bytes used by a persisted relation directory."""
+    root = FsPath(directory)
+    return sum(f.stat().st_size for f in root.iterdir() if f.is_file())

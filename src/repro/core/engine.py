@@ -1,0 +1,587 @@
+"""The graph-analytics engine: the paper's full stack behind one facade.
+
+Wires together the column-store substrate (master relation, bitmaps, cost
+accounting), the graph data/query model, and the view framework:
+
+* :meth:`GraphAnalyticsEngine.load_records` — flatten graph records into
+  the master relation (Section 4.1);
+* :meth:`GraphAnalyticsEngine.query` / :meth:`evaluate` — answer graph
+  queries and boolean combinations via bitmap algebra (Sections 3.2, 4.2),
+  rewritten over materialized views when available (Section 5.3);
+* :meth:`GraphAnalyticsEngine.aggregate` — path-aggregation queries
+  (Section 3.4), using aggregate graph views (Section 5.1.2);
+* :meth:`GraphAnalyticsEngine.materialize_graph_views` /
+  :meth:`materialize_aggregate_views` — candidate generation + greedy
+  extended-set-cover selection under a view budget (Sections 5.2, 5.4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from ..columnstore.bitmap import Bitmap
+from ..columnstore.column import MeasureColumn
+from ..columnstore.iostats import IOStats, IOStatsCollector
+from ..columnstore.table import MasterRelation
+from .aggregates import get_function
+from .candidates import (
+    apriori_candidates,
+    candidate_aggregate_paths,
+    closed_candidates,
+    intersection_closure_candidates,
+)
+from .catalog import EdgeCatalog
+from .paths import Path
+from .query import And, AndNot, GraphQuery, Or, PathAggregationQuery, QueryExpr
+from .record import Edge, GraphRecord
+from .rewrite import (
+    AggregationPlan,
+    GraphQueryPlan,
+    plan_aggregation,
+    plan_graph_query,
+)
+from .setcover import greedy_select_views
+from .views import AggregateGraphView, GraphView
+
+__all__ = [
+    "GraphAnalyticsEngine",
+    "GraphQueryResult",
+    "PathAggregationResult",
+    "MaterializationReport",
+]
+
+
+@dataclass
+class GraphQueryResult:
+    """Answer of a graph query: matching records and their measures."""
+
+    query: GraphQuery
+    rows: np.ndarray
+    record_ids: list
+    measures: dict[Edge, np.ndarray]
+    plan: GraphQueryPlan | None = None
+
+    def __len__(self) -> int:
+        return int(self.rows.size)
+
+    def n_measure_values(self) -> int:
+        return sum(int(a.size) for a in self.measures.values())
+
+
+@dataclass
+class PathAggregationResult:
+    """Answer of a path-aggregation query: one aggregate per maximal path
+    per matching record."""
+
+    query: PathAggregationQuery
+    rows: np.ndarray
+    record_ids: list
+    path_values: dict[Path, np.ndarray]
+    plan: AggregationPlan | None = None
+
+    def __len__(self) -> int:
+        return int(self.rows.size)
+
+
+@dataclass
+class MaterializationReport:
+    """What a materialization run considered and chose."""
+
+    kind: str
+    n_candidates: int
+    selected: list[str] = field(default_factory=list)
+    stopped_on_singleton: bool = False
+
+
+class GraphAnalyticsEngine:
+    """Store and analyze a massive collection of small graph records."""
+
+    def __init__(self, partition_width: int = 1000):
+        self.catalog = EdgeCatalog()
+        self.collector = IOStatsCollector()
+        self.relation = MasterRelation(
+            partition_width=partition_width, collector=self.collector
+        )
+        self._record_ids: list = []
+        self._graph_views: dict[str, GraphView] = {}
+        self._agg_views: dict[str, AggregateGraphView] = {}
+        self._measured_nodes: set[Hashable] = set()
+        self._view_counter = 0
+        # Plan cache, invalidated whenever the view set changes (the
+        # epoch): rewriting is pure in (query, views), so repeated queries
+        # — the common case in the paper's workloads — plan once.
+        self._views_epoch = 0
+        self._plan_cache: dict = {}
+
+    # -- loading ------------------------------------------------------------
+
+    @property
+    def n_records(self) -> int:
+        return self.relation.n_records
+
+    @property
+    def measured_nodes(self) -> frozenset[Hashable]:
+        """Nodes that carry their own measures anywhere in the data."""
+        return frozenset(self._measured_nodes)
+
+    @property
+    def graph_views(self) -> dict[str, GraphView]:
+        return dict(self._graph_views)
+
+    @property
+    def aggregate_views(self) -> dict[str, AggregateGraphView]:
+        return dict(self._agg_views)
+
+    def load_records(self, records: Iterable[GraphRecord]) -> int:
+        """Append graph records row by row; returns how many were loaded."""
+        count = 0
+        for record in records:
+            cells = {
+                self.catalog.intern(edge): value
+                for edge, value in record.measures().items()
+            }
+            self.relation.append_row(cells)
+            self._record_ids.append(record.record_id)
+            self._measured_nodes.update(record.measured_nodes())
+            count += 1
+        self._plan_cache.clear()
+        return count
+
+    def append_records(self, records: Iterable[GraphRecord]) -> int:
+        """Append records *and incrementally maintain all views*.
+
+        Each graph view gains one bit per new record (1 iff the record
+        contains every view element); each aggregate view gains the
+        record's pre-computed path aggregate, or NULL when the record
+        lacks the path.  Equivalent to rebuilding the views from scratch,
+        at O(new records × views) maintenance cost.
+        """
+        records = list(records)
+        loaded = self.load_records(records)
+        measured = frozenset(self._measured_nodes)
+        for name, view in self._graph_views.items():
+            flags = [record.contains_subgraph(view.elements) for record in records]
+            self.relation.extend_graph_view(name, flags)
+        for name, view in self._agg_views.items():
+            elements = view.elements(measured) or view.path.edges()
+            for stored_fn in view.stored_functions():
+                fn = get_function(stored_fn)
+                cells: list[float | None] = []
+                for record in records:
+                    if record.contains_subgraph(elements):
+                        arrays = [
+                            np.array([record.measure(e)]) for e in elements
+                        ]
+                        cells.append(float(fn(arrays)[0]))
+                    else:
+                        cells.append(None)
+                self.relation.extend_aggregate_view(f"{name}:{stored_fn}", cells)
+        return loaded
+
+    def load_columnar(
+        self,
+        record_ids: Sequence,
+        columns: Mapping[Edge, tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """Vectorized bulk load: per element, parallel (row, value) arrays.
+
+        The fast path used by the workload generators; equivalent to
+        :meth:`load_records` on the corresponding records.
+        """
+        base = self.relation.n_records
+        self.relation.set_record_count(base + len(record_ids))
+        self._record_ids.extend(record_ids)
+        for edge, (rows, values) in columns.items():
+            edge_id = self.catalog.intern(edge)
+            self.relation.load_sparse_column(
+                edge_id, np.asarray(rows, dtype=np.int64) + base, values
+            )
+            if edge[0] == edge[1]:
+                self._measured_nodes.add(edge[0])
+        self._plan_cache.clear()
+
+    def record_ids_at(self, rows: np.ndarray) -> list:
+        return [self._record_ids[i] for i in np.asarray(rows, dtype=np.int64)]
+
+    # -- structural evaluation -------------------------------------------------
+
+    def _empty_bitmap(self) -> Bitmap:
+        return Bitmap.zeros(self.relation.n_records)
+
+    def _bump_views_epoch(self) -> None:
+        self._views_epoch += 1
+        self._plan_cache.clear()
+
+    def plan_query(self, query: GraphQuery) -> GraphQueryPlan:
+        """The rewrite chosen for ``query`` given current views (§5.3)."""
+        key = ("graph", query)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = plan_graph_query(query, self._graph_views)
+            self._plan_cache[key] = plan
+        return plan
+
+    def _structural_bitmap(self, query: GraphQuery) -> tuple[Bitmap, GraphQueryPlan]:
+        plan = self.plan_query(query)
+        bitmaps: list[Bitmap] = []
+        for name in plan.view_names:
+            bitmaps.append(self.relation.view_bitmap(name))
+        for element in plan.residual_elements:
+            edge_id = self.catalog.get_id(element)
+            if edge_id is None or not self.relation.has_element(edge_id):
+                return self._empty_bitmap(), plan
+            bitmaps.append(self.relation.bitmap(edge_id))
+        if not bitmaps:
+            return self._empty_bitmap(), plan
+        return Bitmap.and_all(bitmaps), plan
+
+    def evaluate(self, expr: QueryExpr) -> Bitmap:
+        """Evaluate a boolean combination of graph queries to a bitmap.
+
+        Implements ``[Gq1 AND Gq2] = [Gq1] ∩ [Gq2]`` and friends as binary
+        calculations on the stored bitmaps (Section 3.2).
+        """
+        if isinstance(expr, GraphQuery):
+            bitmap, _ = self._structural_bitmap(expr)
+            return bitmap
+        if isinstance(expr, And):
+            return self.evaluate(expr.left) & self.evaluate(expr.right)
+        if isinstance(expr, Or):
+            return self.evaluate(expr.left) | self.evaluate(expr.right)
+        if isinstance(expr, AndNot):
+            return self.evaluate(expr.left) - self.evaluate(expr.right)
+        raise TypeError(f"cannot evaluate {type(expr).__name__}")
+
+    # -- graph queries ---------------------------------------------------------------
+
+    def query(
+        self, query: GraphQuery | QueryExpr, fetch_measures: bool = True
+    ) -> GraphQueryResult:
+        """Answer a graph query: matching records with their measures.
+
+        For a boolean expression, measures are fetched for the union of the
+        atoms' elements that each matching record actually contains.
+        """
+        if isinstance(query, GraphQuery):
+            bitmap, plan = self._structural_bitmap(query)
+            elements = sorted(query.elements, key=repr)
+        else:
+            bitmap = self.evaluate(query)
+            plan = None
+            seen: set[Edge] = set()
+            elements = []
+            for atom in query.atoms():
+                for element in sorted(atom.elements, key=repr):
+                    if element not in seen:
+                        seen.add(element)
+                        elements.append(element)
+        rows = bitmap.to_indices()
+        measures: dict[Edge, np.ndarray] = {}
+        if fetch_measures and rows.size:
+            known_ids = []
+            for element in elements:
+                edge_id = self.catalog.get_id(element)
+                if edge_id is None or not self.relation.has_element(edge_id):
+                    measures[element] = np.full(rows.size, np.nan)
+                    continue
+                known_ids.append(edge_id)
+                measures[element] = self.relation.measures(edge_id, rows)
+            if known_ids:
+                self.relation.simulate_partition_join(known_ids, rows)
+        base_query = query if isinstance(query, GraphQuery) else None
+        return GraphQueryResult(
+            query=base_query if base_query is not None else GraphQuery(elements),
+            rows=rows,
+            record_ids=self.record_ids_at(rows),
+            measures=measures,
+            plan=plan,
+        )
+
+    # -- path aggregation ---------------------------------------------------------------
+
+    def plan_aggregation(self, query: PathAggregationQuery) -> AggregationPlan:
+        key = ("agg", query)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = plan_aggregation(
+                query,
+                self._agg_views,
+                self._graph_views,
+                frozenset(self._measured_nodes),
+            )
+            self._plan_cache[key] = plan
+        return plan
+
+    def _segment_partial(
+        self,
+        view: AggregateGraphView,
+        sub_function: str,
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        """Partial-aggregate array contributed by a view tile.
+
+        Fetches the stored ``mp`` column when the view materializes
+        ``sub_function``; a COUNT partial over matched rows is the tile's
+        element count (every element is present by the structural
+        condition), so it needs no storage at all.
+        """
+        if sub_function in view.stored_functions():
+            column = f"{view.name}:{sub_function}"
+            return self.relation.aggregate_view_measures(column, rows)
+        if sub_function == "count":
+            n_elements = len(view.elements(frozenset(self._measured_nodes)))
+            return np.full(rows.size, float(n_elements))
+        raise KeyError(
+            f"view {view.name!r} stores {view.stored_functions()}, "
+            f"cannot provide {sub_function!r}"
+        )
+
+    def aggregate(self, query: PathAggregationQuery) -> PathAggregationResult:
+        """Answer ``F_Gq``: per matching record, apply the aggregate along
+        every maximal source→terminal path of the query graph (§3.4)."""
+        plan = self.plan_aggregation(query)
+        bitmaps: list[Bitmap] = []
+        for name in plan.structural_agg_view_names:
+            view = self._agg_views[name]
+            bitmaps.append(
+                self.relation.aggregate_view_bitmap(view.column_names()[0])
+            )
+        for name in plan.structural_view_names:
+            bitmaps.append(self.relation.view_bitmap(name))
+        empty = False
+        for element in plan.residual_elements:
+            edge_id = self.catalog.get_id(element)
+            if edge_id is None or not self.relation.has_element(edge_id):
+                empty = True
+                break
+            bitmaps.append(self.relation.bitmap(edge_id))
+        if empty or not bitmaps:
+            rows = np.empty(0, dtype=np.int64)
+        else:
+            rows = Bitmap.and_all(bitmaps).to_indices()
+
+        function = get_function(query.function)
+        needed = (
+            (function.name,) if function.distributive else function.sub_aggregates
+        )
+        path_values: dict[Path, np.ndarray] = {}
+        raw_cache: dict[Edge, np.ndarray] = {}
+        for path_plan in plan.path_plans:
+            partials: dict[str, list[np.ndarray]] = {fn: [] for fn in needed}
+            for segment in path_plan.segments:
+                if segment.kind == "view":
+                    view = self._agg_views[segment.view_name]
+                    for fn in needed:
+                        partials[fn].append(self._segment_partial(view, fn, rows))
+                else:
+                    element = segment.element
+                    if element not in raw_cache:
+                        edge_id = self.catalog.get_id(element)
+                        if edge_id is None or not self.relation.has_element(edge_id):
+                            raw_cache[element] = np.full(rows.size, np.nan)
+                        else:
+                            raw_cache[element] = self.relation.measures(edge_id, rows)
+                    for fn in needed:
+                        partials[fn].append(get_function(fn).lift(raw_cache[element]))
+            if not any(partials.values()):
+                continue
+            if function.distributive:
+                value = function.merge_partials(partials[function.name])
+            else:
+                sub = {
+                    fn: get_function(fn).merge_partials(arrays)
+                    for fn, arrays in partials.items()
+                }
+                value = function.finalize(sub)
+            path_values[path_plan.path] = value
+        return PathAggregationResult(
+            query=query,
+            rows=rows,
+            record_ids=self.record_ids_at(rows),
+            path_values=path_values,
+            plan=plan,
+        )
+
+    # -- materialization ---------------------------------------------------------------
+
+    def _fresh_view_name(self, prefix: str) -> str:
+        self._view_counter += 1
+        return f"{prefix}{self._view_counter}"
+
+    def _unaccounted_bitmap(self, elements: Iterable[Edge]) -> Bitmap:
+        """Conjunction of element bitmaps without touching query I/O stats
+        (materialization is load-time work, not query cost)."""
+        result: Bitmap | None = None
+        for element in elements:
+            edge_id = self.catalog.get_id(element)
+            if edge_id is None or not self.relation.has_element(edge_id):
+                return self._empty_bitmap()
+            validity = self.relation.column_for_persistence(edge_id).validity
+            result = validity if result is None else (result & validity)
+        return result if result is not None else self._empty_bitmap()
+
+    def add_graph_view(self, elements: Iterable[Edge], name: str | None = None) -> str:
+        """Manually materialize one graph view (or index feature) over the
+        given element set; returns the bitmap column's name."""
+        elements = frozenset(elements)
+        view_name = name if name is not None else self._fresh_view_name("gv")
+        bitmap = self._unaccounted_bitmap(elements)
+        self.relation.add_graph_view(view_name, bitmap)
+        self._graph_views[view_name] = GraphView(view_name, elements)
+        self._bump_views_epoch()
+        return view_name
+
+    def materialize_graph_views(
+        self,
+        workload: Sequence[GraphQuery],
+        budget: int,
+        method: str = "closure",
+        min_support: int = 1,
+    ) -> MaterializationReport:
+        """Select and materialize up to ``budget`` graph views (§5.2).
+
+        ``method`` picks the candidate generator: ``"closure"`` (iterated
+        query intersections), ``"apriori"`` (level-wise frequent itemsets),
+        or ``"closed"`` (closed frequent sets — apriori's post-filter
+        output, computed directly; the scalable default for big workloads).
+        """
+        if method == "closure":
+            candidate_sets = intersection_closure_candidates(workload, min_support)
+        elif method == "apriori":
+            candidate_sets = apriori_candidates(workload, max(min_support, 1))
+        elif method == "closed":
+            candidate_sets = closed_candidates(workload, min_support)
+        else:
+            raise ValueError(f"unknown candidate method {method!r}")
+        candidates = {f"cand{i}": elems for i, elems in enumerate(candidate_sets)}
+        selection = greedy_select_views(
+            [q.elements for q in workload], candidates, budget
+        )
+        report = MaterializationReport(
+            kind="graph", n_candidates=len(candidate_sets)
+        )
+        report.stopped_on_singleton = selection.stopped_on_singleton
+        for key in selection.selected:
+            elements = candidates[key]
+            name = self._fresh_view_name("gv")
+            bitmap = self._unaccounted_bitmap(elements)
+            self.relation.add_graph_view(name, bitmap)
+            self._graph_views[name] = GraphView(name, elements)
+            report.selected.append(name)
+        self._bump_views_epoch()
+        return report
+
+    def materialize_aggregate_views(
+        self,
+        workload: Sequence[PathAggregationQuery],
+        budget: int,
+        function: str = "sum",
+        max_path_length: int | None = 32,
+    ) -> MaterializationReport:
+        """Select and materialize up to ``budget`` aggregate views (§5.4).
+
+        Candidates are paths between interesting nodes of the workload
+        union graph; the greedy chooser weighs coverage by path length, per
+        the benefit model (longer pre-aggregated paths replace more
+        columns).
+        """
+        measured = frozenset(self._measured_nodes)
+        paths = candidate_aggregate_paths(workload, max_length=max_path_length)
+        candidates: dict[str, frozenset[Edge]] = {}
+        weights: dict[str, float] = {}
+        keyed_paths: dict[str, Path] = {}
+        for i, path in enumerate(paths):
+            elements = frozenset(path.elements(measured) or path.edges())
+            if len(elements) < 2:
+                continue
+            key = f"cand{i}"
+            candidates[key] = elements
+            weights[key] = float(len(path.edges()))
+            keyed_paths[key] = path
+        selection = greedy_select_views(
+            [q.query.elements for q in workload], candidates, budget, weights
+        )
+        report = MaterializationReport(kind="aggregate", n_candidates=len(candidates))
+        report.stopped_on_singleton = selection.stopped_on_singleton
+        fn = get_function(function)
+        for key in selection.selected:
+            path = keyed_paths[key]
+            name = self._fresh_view_name("av")
+            view = AggregateGraphView(name, path, function)
+            elements = path.elements(measured) or path.edges()
+            bitmap = self._unaccounted_bitmap(elements)
+            rows = bitmap.to_indices()
+            raw = []
+            for element in elements:
+                edge_id = self.catalog.get_id(element)
+                if edge_id is None or not self.relation.has_element(edge_id):
+                    raw.append(np.full(rows.size, np.nan))
+                else:
+                    column = self.relation.column_for_persistence(edge_id)
+                    raw.append(column.take(rows))
+            for stored_fn in view.stored_functions():
+                values = np.full(self.relation.n_records, np.nan)
+                if rows.size:
+                    values[rows] = get_function(stored_fn).combine(raw)
+                column = MeasureColumn(values, bitmap)
+                self.relation.add_aggregate_view(f"{name}:{stored_fn}", column)
+            self._agg_views[name] = view
+            report.selected.append(name)
+        self._bump_views_epoch()
+        return report
+
+    def drop_all_views(self) -> None:
+        """Remove every materialized view (benchmark budget sweeps)."""
+        self.relation.drop_views()
+        self._graph_views.clear()
+        self._agg_views.clear()
+        self._bump_views_epoch()
+
+    # -- introspection ---------------------------------------------------------------
+
+    def explain(self, query: GraphQuery | PathAggregationQuery) -> str:
+        """EXPLAIN-style description: the chosen plan, its cost in the
+        paper's units, and the SQL the column store would execute."""
+        from .sqlgen import render_aggregation, render_graph_query
+
+        if isinstance(query, PathAggregationQuery):
+            plan = self.plan_aggregation(query)
+            lines = [
+                f"PathAggregationQuery function={query.function}",
+                f"  maximal paths: {len(plan.path_plans)}",
+                f"  aggregate views used: {plan.structural_agg_view_names or '-'}",
+                f"  graph views used: {plan.structural_view_names or '-'}",
+                f"  residual element bitmaps: {len(plan.residual_elements)}",
+                f"  structural columns: {plan.n_structural_columns()}",
+                f"  measure columns: {plan.n_measure_columns()}",
+                "SQL:",
+                render_aggregation(plan, self.catalog),
+            ]
+            return "\n".join(lines)
+        if isinstance(query, GraphQuery):
+            plan = self.plan_query(query)
+            lines = [
+                f"GraphQuery |elements|={len(query)}",
+                f"  graph views used: {plan.view_names or '-'}",
+                f"  residual element bitmaps: {len(plan.residual_elements)}",
+                f"  structural columns: {plan.n_structural_columns()} "
+                f"(saves {len(query) - plan.n_structural_columns()})",
+                "SQL:",
+                render_graph_query(plan, self.catalog),
+            ]
+            return "\n".join(lines)
+        raise TypeError(f"cannot explain {type(query).__name__}")
+
+    def reset_stats(self) -> None:
+        self.collector.reset()
+
+    @property
+    def stats(self) -> IOStats:
+        return self.collector.stats
+
+    def disk_size_bytes(self) -> int:
+        return self.relation.disk_size_bytes()

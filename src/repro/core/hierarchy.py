@@ -1,0 +1,112 @@
+"""Node hierarchies and record rollup (§3.1's granularity levels).
+
+"Metadata on graph records are often utilized in order to form hierarchies
+of nodes and edges that allow us to analyze the underlying measurements at
+different granularity levels" — e.g. hub → province → country in the SCM
+example, where all region-2 hubs can be treated as one aggregate node with
+coalesced measures (the zoom-in/out operators of Kotidis [9] the paper
+builds on).
+
+:class:`NodeHierarchy` maps base nodes to ancestors per level;
+:func:`rollup_record` rewrites a record at a coarser level: every node is
+replaced by its ancestor, parallel edges between the same ancestor pair
+merge with a chosen aggregate, and edges internal to one ancestor fold
+into the ancestor's node measure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Hashable
+
+import numpy as np
+
+from .aggregates import get_function
+from .record import Edge, GraphRecord
+
+__all__ = ["NodeHierarchy", "rollup_record", "rollup_records"]
+
+
+class NodeHierarchy:
+    """A fixed set of levels mapping each node upward.
+
+    ``levels`` is an ordered sequence of level names, finest first (level
+    0 is the base).  ``parents`` maps each node at level *i* to its parent
+    at level *i + 1*; nodes without a mapping are their own ancestor (the
+    common case for already-coarse nodes).
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[str],
+        parents: Sequence[Mapping[Hashable, Hashable]],
+    ):
+        if len(levels) < 2:
+            raise ValueError("a hierarchy needs at least two levels")
+        if len(parents) != len(levels) - 1:
+            raise ValueError(
+                f"need {len(levels) - 1} parent mappings for {len(levels)} levels"
+            )
+        self.levels = tuple(levels)
+        self._parents = [dict(p) for p in parents]
+
+    def level_index(self, level: str) -> int:
+        try:
+            return self.levels.index(level)
+        except ValueError:
+            raise KeyError(
+                f"unknown level {level!r}; levels: {', '.join(self.levels)}"
+            ) from None
+
+    def ancestor(self, node: Hashable, level: str) -> Hashable:
+        """The node's ancestor at ``level`` (itself at the base level)."""
+        target = self.level_index(level)
+        current = node
+        for step in range(target):
+            current = self._parents[step].get(current, current)
+        return current
+
+    def members(self, ancestor: Hashable, level: str, nodes) -> frozenset[Hashable]:
+        """Which of ``nodes`` roll up into ``ancestor`` at ``level``."""
+        return frozenset(n for n in nodes if self.ancestor(n, level) == ancestor)
+
+
+def rollup_record(
+    record: GraphRecord,
+    hierarchy: NodeHierarchy,
+    level: str,
+    function: str = "sum",
+) -> GraphRecord:
+    """Rewrite a record at a coarser granularity level.
+
+    * every node becomes its ancestor at ``level``;
+    * edges whose endpoints map to different ancestors merge with
+      ``function`` when several base edges collapse onto the same pair;
+    * edges *internal* to one ancestor — plus the node measures of its
+      members — coalesce into the ancestor's own measure (the paper's
+      "aggregate node" whose hidden structure is summarized, §2).
+    """
+    fn = get_function(function)
+    grouped: dict[Edge, list[float]] = {}
+    for (u, v), value in record.measures().items():
+        up = hierarchy.ancestor(u, level)
+        vp = hierarchy.ancestor(v, level)
+        if up == vp:
+            grouped.setdefault((up, up), []).append(value)
+        else:
+            grouped.setdefault((up, vp), []).append(value)
+    measures = {
+        edge: float(fn([np.array([v]) for v in values])[0])
+        for edge, values in grouped.items()
+    }
+    metadata = dict(record.metadata)
+    metadata["rollup_level"] = level
+    return GraphRecord(record.record_id, measures, metadata)
+
+
+def rollup_records(
+    records, hierarchy: NodeHierarchy, level: str, function: str = "sum"
+):
+    """Roll up a whole collection (generator-friendly)."""
+    for record in records:
+        yield rollup_record(record, hierarchy, level, function)

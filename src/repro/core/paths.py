@@ -1,0 +1,372 @@
+"""Path algebra — the fundamental structural unit for graph queries.
+
+Section 3.3 (following Bleco & Kotidis, BEWEB 2012) models analysis targets
+as *paths* with optionally **open ends**: ``[A,D,E]`` includes the measures
+of both endpoint nodes, ``(D,E,G)`` excludes both endpoints' node measures
+(like an open numerical interval), and ``[D,E,G)`` excludes only the right
+endpoint.  A single node ``A`` is the degenerate closed path ``[A,A]``.
+
+The module implements:
+
+* :class:`Path` — node sequence + end-openness, with the element expansion
+  used by storage (edges, plus self-edges for measure-carrying nodes);
+* the **path-join** operator ``⋈`` (:meth:`Path.join`), defined when the
+  end node of the left path equals the start node of the right path and the
+  common node's measure is counted exactly once (one side open there);
+* **composite paths** ``[S,T]*`` — enumeration of all simple paths between
+  node sets inside a graph (:func:`enumerate_paths`);
+* **maximal paths** of a query graph (:func:`maximal_paths`) — the
+  decomposition of a graph query into paths from its sources to its
+  terminals (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence, Set
+from typing import Hashable
+
+from .record import Edge
+
+__all__ = [
+    "Path",
+    "PathJoinError",
+    "adjacency_of",
+    "enumerate_paths",
+    "maximal_paths",
+    "source_nodes",
+    "terminal_nodes",
+]
+
+
+class PathJoinError(ValueError):
+    """Raised when two paths cannot be composed with the ⋈ operator."""
+
+
+class Path:
+    """A path with optionally open endpoints.
+
+    ``open_start`` / ``open_end`` control whether the first / last node's
+    own measure participates in the path (the bracket-vs-parenthesis
+    notation of the paper).  Interior nodes are always included.
+    """
+
+    __slots__ = ("_nodes", "_open_start", "_open_end")
+
+    def __init__(
+        self,
+        nodes: Sequence[Hashable],
+        open_start: bool = False,
+        open_end: bool = False,
+    ):
+        nodes = tuple(nodes)
+        if not nodes:
+            raise ValueError("a path needs at least one node")
+        if len(set(nodes)) != len(nodes) and not (
+            len(nodes) == 2 and nodes[0] == nodes[1]
+        ):
+            raise ValueError(f"path nodes must be distinct (simple path): {nodes}")
+        if len(nodes) == 1:
+            # Normalize the single-node path to the paper's [A, A] form.
+            nodes = (nodes[0], nodes[0])
+        self._nodes = nodes
+        self._open_start = bool(open_start)
+        self._open_end = bool(open_end)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def closed(cls, *nodes: Hashable) -> "Path":
+        """``[a, b, …, z]`` — both endpoint node measures included."""
+        return cls(nodes, open_start=False, open_end=False)
+
+    @classmethod
+    def open(cls, *nodes: Hashable) -> "Path":
+        """``(a, b, …, z)`` — both endpoint node measures excluded."""
+        return cls(nodes, open_start=True, open_end=True)
+
+    @classmethod
+    def half_open_right(cls, *nodes: Hashable) -> "Path":
+        """``[a, …, z)`` — last node's measure excluded."""
+        return cls(nodes, open_start=False, open_end=True)
+
+    @classmethod
+    def half_open_left(cls, *nodes: Hashable) -> "Path":
+        """``(a, …, z]`` — first node's measure excluded."""
+        return cls(nodes, open_start=True, open_end=False)
+
+    @classmethod
+    def node(cls, node: Hashable) -> "Path":
+        """A single node as the closed path ``[X, X]``."""
+        return cls((node, node))
+
+    # -- protocol -----------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[Hashable, ...]:
+        return self._nodes
+
+    @property
+    def open_start(self) -> bool:
+        return self._open_start
+
+    @property
+    def open_end(self) -> bool:
+        return self._open_end
+
+    @property
+    def start(self) -> Hashable:
+        return self._nodes[0]
+
+    @property
+    def end(self) -> Hashable:
+        return self._nodes[-1]
+
+    def is_single_node(self) -> bool:
+        return len(self._nodes) == 2 and self._nodes[0] == self._nodes[1]
+
+    def __len__(self) -> int:
+        """Number of hops (edges); a single node has length 0."""
+        if self.is_single_node():
+            return 0
+        return len(self._nodes) - 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return (
+            self._nodes == other._nodes
+            and self._open_start == other._open_start
+            and self._open_end == other._open_end
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._nodes, self._open_start, self._open_end))
+
+    def __repr__(self) -> str:
+        left = "(" if self._open_start else "["
+        right = ")" if self._open_end else "]"
+        inner = ",".join(str(n) for n in self._nodes)
+        return f"{left}{inner}{right}"
+
+    # -- structure -----------------------------------------------------------
+
+    def edges(self) -> tuple[Edge, ...]:
+        """The consecutive-pair edges traversed by the path."""
+        if self.is_single_node():
+            return ()
+        return tuple(zip(self._nodes, self._nodes[1:]))
+
+    def included_nodes(self) -> tuple[Hashable, ...]:
+        """Nodes whose own measure participates (endpoint openness applied)."""
+        if self.is_single_node():
+            # [A, A] includes A; an open single node would be empty and is
+            # not a meaningful path, so openness collapses to exclusion.
+            if self._open_start or self._open_end:
+                return ()
+            return (self._nodes[0],)
+        nodes = list(self._nodes)
+        if self._open_end:
+            nodes = nodes[:-1]
+        if self._open_start:
+            nodes = nodes[1:]
+        return tuple(nodes)
+
+    def elements(self, measured_nodes: Set[Hashable] = frozenset()) -> tuple[Edge, ...]:
+        """Structural elements of the path in traversal order.
+
+        All traversed edges, interleaved with self-edges ``(x, x)`` for each
+        included node that actually carries a measure in the database
+        (``measured_nodes``).  This is exactly the set of ``m_i`` columns a
+        path-aggregation over this path must consolidate, and the set of
+        ``b_i`` bitmaps forming its structural condition.
+        """
+        included = set(self.included_nodes()) & set(measured_nodes)
+        out: list[Edge] = []
+        if self.is_single_node():
+            node = self._nodes[0]
+            if node in included:
+                out.append((node, node))
+            return tuple(out)
+        for position, node in enumerate(self._nodes):
+            if node in included:
+                out.append((node, node))
+            if position < len(self._nodes) - 1:
+                out.append((node, self._nodes[position + 1]))
+        return tuple(out)
+
+    def contains_subpath(self, other: "Path") -> bool:
+        """True iff ``other``'s node sequence occurs contiguously in self."""
+        mine, theirs = self._nodes, other.nodes
+        if other.is_single_node():
+            return theirs[0] in mine
+        window = len(theirs)
+        return any(
+            mine[i : i + window] == theirs for i in range(len(mine) - window + 1)
+        )
+
+    # -- path-join -----------------------------------------------------------
+
+    def can_join(self, other: "Path") -> bool:
+        """Whether ``self ⋈ other`` is defined.
+
+        Requires the end node of self to equal the start node of other, the
+        common node's measure to be counted exactly once (exactly one of the
+        two sides open there), and the concatenation to remain a simple
+        path.
+        """
+        if self.end != other.start:
+            return False
+        if not (self._open_end ^ other.open_start):
+            return False
+        left_nodes = self._nodes[:-1] if not self.is_single_node() else ()
+        right_nodes = other.nodes[1:] if not other.is_single_node() else ()
+        combined = left_nodes + (self.end,) + right_nodes
+        return len(set(combined)) == len(combined)
+
+    def join(self, other: "Path") -> "Path":
+        """The path-join ``self ⋈ other`` (Section 3.3).
+
+        Example: ``[A,B,F) ⋈ [F,J,K] = [A,B,F,J,K]``.  Raises
+        :class:`PathJoinError` when undefined — e.g. ``[A,D,E] ⋈ [E,G,I]``
+        is invalid because node E's measure would be counted twice.
+        """
+        if not self.can_join(other):
+            raise PathJoinError(f"cannot join {self!r} with {other!r}")
+        if self.is_single_node():
+            combined = other.nodes
+        elif other.is_single_node():
+            combined = self._nodes
+        else:
+            combined = self._nodes + other.nodes[1:]
+        return Path(combined, open_start=self._open_start, open_end=other.open_end)
+
+    def __matmul__(self, other: "Path") -> "Path":
+        """``p1 @ p2`` spelling of the ⋈ operator."""
+        return self.join(other)
+
+    @staticmethod
+    def join_composites(
+        left: Iterable["Path"], right: Iterable["Path"]
+    ) -> list["Path"]:
+        """⋈ applied to composite paths: all joinable pairs (Section 3.3)."""
+        right_list = list(right)
+        out: list[Path] = []
+        for p1 in left:
+            for p2 in right_list:
+                if p1.can_join(p2):
+                    out.append(p1.join(p2))
+        return out
+
+
+# -- graph-level path utilities ------------------------------------------------
+
+
+def adjacency_of(edges: Iterable[Edge]) -> dict[Hashable, list[Hashable]]:
+    """Successor adjacency of the proper (non-self) edges, sorted for
+    deterministic enumeration order."""
+    adjacency: dict[Hashable, set[Hashable]] = {}
+    for u, v in edges:
+        if u == v:
+            continue
+        adjacency.setdefault(u, set()).add(v)
+    return {u: sorted(vs, key=repr) for u, vs in adjacency.items()}
+
+
+def source_nodes(edges: Iterable[Edge]) -> frozenset[Hashable]:
+    """Nodes of the edge set with no incoming proper edge (``Src(Gq)``)."""
+    edges = list(edges)
+    nodes: set[Hashable] = set()
+    targets: set[Hashable] = set()
+    for u, v in edges:
+        nodes.add(u)
+        nodes.add(v)
+        if u != v:
+            targets.add(v)
+    return frozenset(nodes - targets)
+
+
+def terminal_nodes(edges: Iterable[Edge]) -> frozenset[Hashable]:
+    """Nodes of the edge set with no outgoing proper edge (``Ter(Gq)``)."""
+    edges = list(edges)
+    nodes: set[Hashable] = set()
+    origins: set[Hashable] = set()
+    for u, v in edges:
+        nodes.add(u)
+        nodes.add(v)
+        if u != v:
+            origins.add(u)
+    return frozenset(nodes - origins)
+
+
+def enumerate_paths(
+    edges: Iterable[Edge],
+    sources: Iterable[Hashable],
+    targets: Iterable[Hashable],
+    open_start: bool = False,
+    open_end: bool = False,
+    max_length: int | None = None,
+) -> list[Path]:
+    """All simple paths from any source to any target: the composite path
+    ``[S, T]*`` of Section 3.3 (bracket style given by the open flags).
+
+    Enumeration is depth-first with deterministic node order.  A source
+    that is itself a target contributes the single-node path ``[s, s]``.
+    ``max_length`` bounds the hop count (safety valve for dense graphs).
+    """
+    adjacency = adjacency_of(edges)
+    target_set = set(targets)
+    out: list[Path] = []
+
+    def walk(trail: list[Hashable], visited: set[Hashable]) -> None:
+        node = trail[-1]
+        if node in target_set and len(trail) > 1:
+            out.append(Path(tuple(trail), open_start=open_start, open_end=open_end))
+        if max_length is not None and len(trail) - 1 >= max_length:
+            return
+        for succ in adjacency.get(node, []):
+            if succ in visited:
+                continue
+            visited.add(succ)
+            trail.append(succ)
+            walk(trail, visited)
+            trail.pop()
+            visited.remove(succ)
+
+    for src in sorted(set(sources), key=repr):
+        if src in target_set:
+            out.append(Path.node(src))
+        walk([src], {src})
+    return out
+
+
+def maximal_paths(edges: Iterable[Edge], max_length: int | None = None) -> list[Path]:
+    """Maximal paths of a query graph: closed simple paths from its source
+    nodes to its terminal nodes, none contained in another (Section 3.3).
+
+    For a DAG query this is ``[Src(Gq), Ter(Gq)]*``; if cycles leave the
+    graph without sources/terminals, every node on a cycle is used as a
+    fallback start/end so decomposition still covers the graph.
+    """
+    edge_list = [e for e in edges if e[0] != e[1]]
+    if not edge_list:
+        # A query of bare nodes decomposes into single-node paths.
+        nodes = {u for e in edges for u in e}
+        return [Path.node(n) for n in sorted(nodes, key=repr)]
+    sources = source_nodes(edge_list)
+    targets = terminal_nodes(edge_list)
+    all_nodes = {u for e in edge_list for u in e}
+    if not sources:
+        sources = frozenset(all_nodes)
+    if not targets:
+        targets = frozenset(all_nodes)
+    candidates = enumerate_paths(edge_list, sources, targets, max_length=max_length)
+    # Drop any path contained in another (maximality).
+    out: list[Path] = []
+    for path in candidates:
+        if len(path) == 0:
+            continue
+        if not any(
+            other is not path and other.contains_subpath(path) for other in candidates
+        ):
+            out.append(path)
+    return out

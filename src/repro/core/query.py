@@ -1,0 +1,257 @@
+"""Graph queries and boolean combinations of them.
+
+A *graph query* ``Gq(V, E)`` (Section 3.2) is a directed graph over the
+same universe of named nodes as the data; a record belongs to its answer
+iff it contains every structural element of the query (containment by
+identity — no isomorphism).  Queries compose with set logic over their
+answer sets:
+
+    [Gq1 AND Gq2] = [Gq1] ∩ [Gq2]
+    [Gq1 OR  Gq2] = [Gq1] ∪ [Gq2]
+    [Gq1 AND NOT Gq2] = [Gq1] − [Gq2]
+
+which the engine evaluates as bitmap algebra (Section 4.2).  The expression
+tree classes here (:class:`And`, :class:`Or`, :class:`AndNot`) capture that
+composition; :class:`PathAggregationQuery` pairs a graph query with an
+aggregate function per Section 3.4.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Set
+from typing import Hashable
+
+from .paths import Path, maximal_paths, source_nodes, terminal_nodes
+from .record import Edge, GraphRecord
+
+__all__ = [
+    "GraphQuery",
+    "QueryExpr",
+    "And",
+    "Or",
+    "AndNot",
+    "PathAggregationQuery",
+]
+
+
+class QueryExpr:
+    """Base for boolean combinations of graph queries."""
+
+    def __and__(self, other: "QueryExpr") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "QueryExpr") -> "Or":
+        return Or(self, other)
+
+    def __sub__(self, other: "QueryExpr") -> "AndNot":
+        return AndNot(self, other)
+
+    def atoms(self) -> list["GraphQuery"]:
+        """All leaf graph queries in the expression, left to right."""
+        raise NotImplementedError
+
+
+class GraphQuery(QueryExpr):
+    """An atomic graph query: a set of structural elements.
+
+    Nodes with measures are represented, as everywhere in the framework, by
+    self-edges ``(x, x)``.
+    """
+
+    __slots__ = ("_elements",)
+
+    def __init__(self, elements: Iterable[Edge]):
+        elems = frozenset(elements)
+        if not elems:
+            raise ValueError("a graph query must reference at least one element")
+        for edge in elems:
+            if not isinstance(edge, tuple) or len(edge) != 2:
+                raise TypeError(f"structural element must be a (u, v) tuple: {edge!r}")
+        self._elements = elems
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_path(
+        cls, path: Path, measured_nodes: Set[Hashable] = frozenset()
+    ) -> "GraphQuery":
+        """Query matching records that contain the given path.
+
+        ``measured_nodes`` lists nodes that carry their own measures in the
+        database, so their self-edges become part of the structural
+        condition.
+        """
+        elements = path.elements(measured_nodes)
+        if not elements:
+            elements = path.edges()
+        return cls(elements)
+
+    @classmethod
+    def from_node_chain(cls, *nodes: Hashable) -> "GraphQuery":
+        """Query for the closed path through the given nodes, edges only.
+
+        The convenient spelling for the paper's Q1-style queries:
+        ``GraphQuery.from_node_chain("A", "D", "E", "G", "I")``.
+        """
+        if len(nodes) < 2:
+            raise ValueError("a node chain needs at least two nodes")
+        return cls(tuple(zip(nodes, nodes[1:])))
+
+    @classmethod
+    def from_record(cls, record: GraphRecord) -> "GraphQuery":
+        """Query whose structure is exactly the record's element set."""
+        return cls(record.elements())
+
+    # -- protocol ----------------------------------------------------------------
+
+    @property
+    def elements(self) -> frozenset[Edge]:
+        return self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphQuery):
+            return NotImplemented
+        return self._elements == other._elements
+
+    def __hash__(self) -> int:
+        return hash(self._elements)
+
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self._elements
+
+    def __repr__(self) -> str:
+        shown = sorted(self._elements, key=repr)
+        if len(shown) > 6:
+            inner = ", ".join(map(repr, shown[:6])) + ", ..."
+        else:
+            inner = ", ".join(map(repr, shown))
+        return f"GraphQuery({{{inner}}})"
+
+    def atoms(self) -> list["GraphQuery"]:
+        return [self]
+
+    # -- structure -----------------------------------------------------------------
+
+    def nodes(self) -> frozenset[Hashable]:
+        out: set[Hashable] = set()
+        for u, v in self._elements:
+            out.add(u)
+            out.add(v)
+        return frozenset(out)
+
+    def edges(self) -> frozenset[Edge]:
+        """Proper edges only."""
+        return frozenset(e for e in self._elements if e[0] != e[1])
+
+    def measured_nodes(self) -> frozenset[Hashable]:
+        return frozenset(u for (u, v) in self._elements if u == v)
+
+    def sources(self) -> frozenset[Hashable]:
+        """``Src(Gq)`` — nodes without incoming proper edges."""
+        return source_nodes(self._elements)
+
+    def terminals(self) -> frozenset[Hashable]:
+        """``Ter(Gq)`` — nodes without outgoing proper edges."""
+        return terminal_nodes(self._elements)
+
+    def maximal_paths(self, max_length: int | None = None) -> list[Path]:
+        """Decomposition into maximal source→terminal paths (Section 3.3)."""
+        return maximal_paths(self._elements, max_length=max_length)
+
+    def matches(self, record: GraphRecord) -> bool:
+        """Reference containment semantics (used by tests and baselines)."""
+        return record.contains_subgraph(self._elements)
+
+    # -- set operations (candidate-view generation building blocks) ----------------
+
+    def intersect(self, other: "GraphQuery") -> "GraphQuery | None":
+        """Common subgraph ``Gqi ∩ Gqj``, or None when empty (Section 5.2)."""
+        common = self._elements & other._elements
+        if not common:
+            return None
+        return GraphQuery(common)
+
+    def union(self, other: "GraphQuery") -> "GraphQuery":
+        return GraphQuery(self._elements | other._elements)
+
+    def is_subquery_of(self, other: "GraphQuery") -> bool:
+        return self._elements <= other._elements
+
+
+class _Binary(QueryExpr):
+    """Shared plumbing for binary boolean operators."""
+
+    __slots__ = ("left", "right")
+    _symbol = "?"
+
+    def __init__(self, left: QueryExpr, right: QueryExpr):
+        if not isinstance(left, QueryExpr) or not isinstance(right, QueryExpr):
+            raise TypeError("operands must be graph queries or expressions")
+        self.left = left
+        self.right = right
+
+    def atoms(self) -> list[GraphQuery]:
+        return self.left.atoms() + self.right.atoms()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self._symbol} {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.left == other.left and self.right == other.right
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.left, self.right))
+
+
+class And(_Binary):
+    """``[Gq1 AND Gq2] = [Gq1] ∩ [Gq2]``."""
+
+    _symbol = "AND"
+
+
+class Or(_Binary):
+    """``[Gq1 OR Gq2] = [Gq1] ∪ [Gq2]``."""
+
+    _symbol = "OR"
+
+
+class AndNot(_Binary):
+    """``[Gq1 AND NOT Gq2] = [Gq1] − [Gq2]``."""
+
+    _symbol = "AND NOT"
+
+
+class PathAggregationQuery:
+    """``F_Gq`` — retrieve records matching ``Gq`` and apply ``function``
+    along every maximal source→terminal path (Section 3.4).
+
+    ``function`` is a name resolved in :mod:`repro.core.aggregates`
+    (``"sum"``, ``"max"``, …).
+    """
+
+    __slots__ = ("query", "function")
+
+    def __init__(self, query: GraphQuery, function: str = "sum"):
+        if not isinstance(query, GraphQuery):
+            raise TypeError("query must be an atomic GraphQuery")
+        self.query = query
+        self.function = function.lower()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathAggregationQuery):
+            return NotImplemented
+        return self.query == other.query and self.function == other.function
+
+    def __hash__(self) -> int:
+        return hash((self.query, self.function))
+
+    def __repr__(self) -> str:
+        return f"{self.function.upper()}_{self.query!r}"
+
+    def maximal_paths(self, max_length: int | None = None) -> list[Path]:
+        return self.query.maximal_paths(max_length=max_length)

@@ -1,0 +1,245 @@
+"""Graph records — the unit of data in the paper's target applications.
+
+A *graph record* (Section 3.1) is a small directed graph whose nodes are
+named business entities (hubs, workflow states, …) drawn from a universal
+naming scheme, annotated with a numeric measure on nodes and/or edges.
+
+Two modeling conventions from the paper are implemented here:
+
+* **Nodes are self-edges.**  A node ``X`` carrying a measure is stored as
+  the special edge ``(X, X)`` (Section 4.1), so storage and querying treat
+  nodes and edges uniformly ("edges" below means structural elements).
+* **Cycle flattening.**  Path aggregation requires DAGs; records with
+  cycles are flattened by renaming repeat visits (``A`` → ``A'`` → ``A''``)
+  during a deterministic traversal (Sections 3.1 and 6.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Any, Hashable
+
+__all__ = ["Edge", "GraphRecord", "flatten_walk", "occurrence_name"]
+
+# A structural element: directed edge (u, v); u == v encodes node u itself.
+Edge = tuple[Hashable, Hashable]
+
+
+def occurrence_name(node: Hashable, occurrence: int) -> Hashable:
+    """Name for the ``occurrence``-th visit of ``node`` when flattening.
+
+    The first visit keeps the original name; later visits get primes, e.g.
+    ``A``, ``A'``, ``A''`` — mirroring the paper's ``(C, A')`` example.
+    """
+    if occurrence == 0:
+        return node
+    return f"{node}{chr(39) * occurrence}"
+
+
+def flatten_walk(nodes: Iterable[Hashable]) -> list[Hashable]:
+    """Flatten a node walk that may revisit nodes into unique names.
+
+    The paper's example: a product shipped through A, B, C, A, D, E becomes
+    the node sequence A, B, C, A', D, E so that the resulting edge sequence
+    (A,B), (B,C), (C,A'), (A',D), (D,E) is a simple path (a DAG).
+    """
+    seen: dict[Hashable, int] = {}
+    out: list[Hashable] = []
+    for node in nodes:
+        count = seen.get(node, 0)
+        out.append(occurrence_name(node, count))
+        seen[node] = count + 1
+    return out
+
+
+class GraphRecord:
+    """A directed graph with one numeric measure per structural element.
+
+    Parameters
+    ----------
+    record_id:
+        Application-level identifier (the ``recid`` key of the master
+        relation).
+    measures:
+        Mapping from structural element — a ``(u, v)`` edge, with
+        ``(x, x)`` denoting node ``x`` — to its measure value.
+    metadata:
+        Optional free-form annotations (order type, region, sub-order
+        links, …); not interpreted by the storage layer (Section 3.1).
+    """
+
+    __slots__ = ("_record_id", "_measures", "_metadata")
+
+    def __init__(
+        self,
+        record_id: Hashable,
+        measures: Mapping[Edge, float],
+        metadata: Mapping[str, Any] | None = None,
+    ):
+        if not measures:
+            raise ValueError("a graph record must contain at least one element")
+        cleaned: dict[Edge, float] = {}
+        for edge, value in measures.items():
+            if not isinstance(edge, tuple) or len(edge) != 2:
+                raise TypeError(f"structural element must be a (u, v) tuple, got {edge!r}")
+            cleaned[edge] = float(value)
+        self._record_id = record_id
+        self._measures = cleaned
+        self._metadata = dict(metadata) if metadata else {}
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_walk(
+        cls,
+        record_id: Hashable,
+        nodes: Iterable[Hashable],
+        edge_measures: Iterable[float],
+        node_measures: Iterable[float] | None = None,
+        flatten: bool = True,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "GraphRecord":
+        """Build a record from a walk (the generators in Section 7 do this).
+
+        ``edge_measures`` gives one value per consecutive node pair;
+        ``node_measures``, if provided, one value per node.  With
+        ``flatten=True`` revisited nodes are renamed so the record is a DAG.
+        """
+        node_list = list(nodes)
+        if flatten:
+            node_list = flatten_walk(node_list)
+        edge_vals = list(edge_measures)
+        if len(edge_vals) != max(len(node_list) - 1, 0):
+            raise ValueError(
+                f"need {len(node_list) - 1} edge measures, got {len(edge_vals)}"
+            )
+        measures: dict[Edge, float] = {}
+        for (u, v), val in zip(zip(node_list, node_list[1:]), edge_vals):
+            measures[(u, v)] = float(val)
+        if node_measures is not None:
+            node_vals = list(node_measures)
+            if len(node_vals) != len(node_list):
+                raise ValueError(
+                    f"need {len(node_list)} node measures, got {len(node_vals)}"
+                )
+            for node, val in zip(node_list, node_vals):
+                measures[(node, node)] = float(val)
+        if not measures:
+            raise ValueError("walk produced an empty record")
+        return cls(record_id, measures, metadata)
+
+    # -- protocol ---------------------------------------------------------------
+
+    @property
+    def record_id(self) -> Hashable:
+        return self._record_id
+
+    @property
+    def metadata(self) -> dict[str, Any]:
+        return self._metadata
+
+    def __len__(self) -> int:
+        """Number of structural elements (measured nodes + edges)."""
+        return len(self._measures)
+
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self._measures
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphRecord):
+            return NotImplemented
+        return (
+            self._record_id == other._record_id
+            and self._measures == other._measures
+        )
+
+    def __repr__(self) -> str:
+        return f"GraphRecord(id={self._record_id!r}, elements={len(self)})"
+
+    # -- structure ----------------------------------------------------------------
+
+    def elements(self) -> frozenset[Edge]:
+        """All structural elements (edges; nodes as self-edges)."""
+        return frozenset(self._measures)
+
+    def edges(self) -> frozenset[Edge]:
+        """Proper edges only (u != v)."""
+        return frozenset(e for e in self._measures if e[0] != e[1])
+
+    def measured_nodes(self) -> frozenset[Hashable]:
+        """Nodes that carry their own measure (stored as self-edges)."""
+        return frozenset(u for (u, v) in self._measures if u == v)
+
+    def nodes(self) -> frozenset[Hashable]:
+        """All nodes appearing in any structural element."""
+        out: set[Hashable] = set()
+        for u, v in self._measures:
+            out.add(u)
+            out.add(v)
+        return frozenset(out)
+
+    def measure(self, edge: Edge) -> float:
+        """Measure on a structural element; KeyError if absent."""
+        return self._measures[edge]
+
+    def get_measure(self, edge: Edge) -> float | None:
+        return self._measures.get(edge)
+
+    def measures(self) -> dict[Edge, float]:
+        """A copy of the element → measure mapping."""
+        return dict(self._measures)
+
+    def successors(self, node: Hashable) -> frozenset[Hashable]:
+        return frozenset(v for (u, v) in self._measures if u == node and u != v)
+
+    def predecessors(self, node: Hashable) -> frozenset[Hashable]:
+        return frozenset(u for (u, v) in self._measures if v == node and u != v)
+
+    def contains_subgraph(self, elements: Iterable[Edge]) -> bool:
+        """Record containment test: is every element present?
+
+        Because nodes are globally named, the paper's subgraph condition is
+        plain element-set containment — no isomorphism search (Section 1).
+        """
+        return all(e in self._measures for e in elements)
+
+    def is_dag(self) -> bool:
+        """True iff the proper-edge graph has no directed cycle."""
+        adjacency: dict[Hashable, list[Hashable]] = {}
+        for u, v in self.edges():
+            adjacency.setdefault(u, []).append(v)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: dict[Hashable, int] = {}
+        for start in list(adjacency):
+            if color.get(start, WHITE) != WHITE:
+                continue
+            stack: list[tuple[Hashable, int]] = [(start, 0)]
+            color[start] = GRAY
+            while stack:
+                node, child_index = stack[-1]
+                children = adjacency.get(node, [])
+                if child_index < len(children):
+                    stack[-1] = (node, child_index + 1)
+                    child = children[child_index]
+                    state = color.get(child, WHITE)
+                    if state == GRAY:
+                        return False
+                    if state == WHITE:
+                        color[child] = GRAY
+                        stack.append((child, 0))
+                else:
+                    color[node] = BLACK
+                    stack.pop()
+        return True
+
+    def source_nodes(self) -> frozenset[Hashable]:
+        """Nodes with no incoming proper edge."""
+        nodes = self.nodes()
+        targets = {v for (u, v) in self.edges()}
+        return frozenset(n for n in nodes if n not in targets)
+
+    def terminal_nodes(self) -> frozenset[Hashable]:
+        """Nodes with no outgoing proper edge."""
+        nodes = self.nodes()
+        sources = {u for (u, v) in self.edges()}
+        return frozenset(n for n in nodes if n not in sources)

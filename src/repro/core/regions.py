@@ -1,0 +1,163 @@
+"""Regions — ad-hoc aggregate nodes over parts of the network (§2, §3.3).
+
+The paper's motivating queries coalesce node sets: "all production points
+within region 1", "hubs from region 2".  A :class:`Region` names a
+subgraph (its nodes and internal edges); Section 3.3 then writes path
+expressions *through* regions, e.g. articles passing through all hubs of
+region 2::
+
+    [Src(Gq), Src(R2)) ⋈ [Src(R2), Ter(R2)] ⋈ (Ter(R2), Ter(Gq)]
+
+This module implements that machinery: region sources/terminals, the
+composite paths into / within / out of a region, and the queries that
+retrieve records routed through a region — including the paper's example
+where path [C,H,K] is excluded because it avoids region 2 entirely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Set
+from typing import Hashable
+
+from .paths import Path, enumerate_paths, source_nodes, terminal_nodes
+from .query import GraphQuery
+from .record import Edge
+
+__all__ = ["Region", "paths_through_region", "queries_through_region"]
+
+
+class Region:
+    """A named set of nodes with the edges internal to it.
+
+    ``elements`` may be given explicitly; otherwise the region's internal
+    edges are derived from a host edge set (every host edge with both
+    endpoints in the region).
+    """
+
+    __slots__ = ("name", "nodes", "elements")
+
+    def __init__(
+        self,
+        name: str,
+        nodes: Iterable[Hashable],
+        elements: Iterable[Edge] | None = None,
+        host_edges: Iterable[Edge] | None = None,
+    ):
+        self.name = name
+        self.nodes = frozenset(nodes)
+        if not self.nodes:
+            raise ValueError("a region needs at least one node")
+        if elements is not None:
+            elems = frozenset(elements)
+            for u, v in elems:
+                if u not in self.nodes or v not in self.nodes:
+                    raise ValueError(
+                        f"edge {(u, v)!r} is not internal to region {name!r}"
+                    )
+            self.elements = elems
+        elif host_edges is not None:
+            self.elements = frozenset(
+                (u, v)
+                for u, v in host_edges
+                if u in self.nodes and v in self.nodes
+            )
+        else:
+            self.elements = frozenset()
+
+    def __repr__(self) -> str:
+        return f"Region({self.name!r}, nodes={len(self.nodes)}, edges={len(self.elements)})"
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self.nodes
+
+    def sources(self) -> frozenset[Hashable]:
+        """``Src(R)`` — nodes of the region without internal predecessors."""
+        if not self.elements:
+            return self.nodes
+        internal = source_nodes(self.elements)
+        isolated = self.nodes - {u for e in self.elements for u in e}
+        return internal | isolated
+
+    def terminals(self) -> frozenset[Hashable]:
+        """``Ter(R)`` — nodes of the region without internal successors."""
+        if not self.elements:
+            return self.nodes
+        internal = terminal_nodes(self.elements)
+        isolated = self.nodes - {u for e in self.elements for u in e}
+        return internal | isolated
+
+    def entry_edges(self, host_edges: Iterable[Edge]) -> frozenset[Edge]:
+        """Host edges crossing into the region."""
+        return frozenset(
+            (u, v) for u, v in host_edges if u not in self.nodes and v in self.nodes
+        )
+
+    def exit_edges(self, host_edges: Iterable[Edge]) -> frozenset[Edge]:
+        """Host edges crossing out of the region."""
+        return frozenset(
+            (u, v) for u, v in host_edges if u in self.nodes and v not in self.nodes
+        )
+
+    def internal_view_elements(self) -> frozenset[Edge]:
+        """The element set of a graph view indexing this region — the
+        paper's example of indexing region 2 with a single bitmap column
+        (Section 5.1.1)."""
+        if not self.elements:
+            raise ValueError(f"region {self.name!r} has no internal edges to index")
+        return self.elements
+
+
+def paths_through_region(
+    host_edges: Iterable[Edge],
+    region: Region,
+    max_length: int | None = 16,
+) -> list[Path]:
+    """All maximal host paths that pass through the region.
+
+    Implements the Section 3.3 composite expression: paths from the host
+    graph's sources into ``Src(R)``, joined with paths across the region,
+    joined with paths from ``Ter(R)`` to the host terminals.  Paths that
+    never touch the region (the paper's ``[C,H,K]``) are not produced.
+    """
+    host_edges = [e for e in set(host_edges) if e[0] != e[1]]
+    host_sources = source_nodes(host_edges)
+    host_terminals = terminal_nodes(host_edges)
+
+    # [Src(Gq), Src(R)): open at the region boundary so the boundary
+    # node's measure is owned by the middle segment.
+    into = enumerate_paths(
+        host_edges, host_sources, region.sources(),
+        open_end=True, max_length=max_length,
+    )
+    # Sources already inside the region contribute a degenerate entry.
+    for node in host_sources & region.sources():
+        into.append(Path((node, node), open_end=True))
+
+    across = enumerate_paths(
+        host_edges, region.sources(), region.terminals(), max_length=max_length
+    )
+    across = [p for p in across if set(p.nodes) <= region.nodes]
+
+    out = enumerate_paths(
+        host_edges, region.terminals(), host_terminals,
+        open_start=True, max_length=max_length,
+    )
+    for node in host_terminals & region.terminals():
+        out.append(Path((node, node), open_start=True))
+
+    first = Path.join_composites(into, across)
+    return Path.join_composites(first, out)
+
+
+def queries_through_region(
+    host_edges: Iterable[Edge],
+    region: Region,
+    measured_nodes: Set[Hashable] = frozenset(),
+    max_length: int | None = 16,
+) -> list[GraphQuery]:
+    """One graph query per maximal host path through the region."""
+    return [
+        GraphQuery.from_path(p, measured_nodes)
+        for p in paths_through_region(host_edges, region, max_length)
+        if p.edges()
+    ]

@@ -1,0 +1,153 @@
+"""Greedy (extended) set cover — view selection and query rewriting.
+
+Section 5.2 maps view selection to an **extended set cover problem with
+multiple universes**: every workload query is a universe ``Ui`` (its set of
+elements); the available sets ``S`` are the single-element sets ``E`` (the
+``b_i`` bitmaps that always exist) plus the candidate views ``Cv``.  Pick
+the minimum number of sets covering all universes — under a budget of
+``k`` views, run the greedy chooser and stop after ``k`` views are picked
+or when a single-element set wins a round (no candidate view helps more
+than an existing bitmap, so further view materialization is pointless).
+
+A view may cover a universe only when it is a subset of it (its bitmap is
+the conjunction of *all* its elements; using it for a query lacking one of
+them would over-constrain the answer).
+
+Section 5.3 reuses the same greedy chooser at query time with a single
+universe to decide how to answer a query from the materialized views —
+the classic greedy set cover with its H(n) approximation guarantee.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["SelectionResult", "greedy_select_views", "greedy_cover_query"]
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a greedy multi-universe selection run.
+
+    ``selected`` holds the chosen candidate keys in pick order;
+    ``coverage`` maps each universe index to the candidate keys usable for
+    it; ``rounds`` records (key, marginal benefit) per greedy round,
+    including the terminating singleton round if one occurred.
+    """
+
+    selected: list[Hashable] = field(default_factory=list)
+    coverage: dict[int, list[Hashable]] = field(default_factory=dict)
+    rounds: list[tuple[Hashable, int]] = field(default_factory=list)
+    stopped_on_singleton: bool = False
+
+
+def greedy_select_views(
+    universes: Sequence[frozenset],
+    candidates: Mapping[Hashable, frozenset],
+    budget: int,
+    weights: Mapping[Hashable, float] | None = None,
+) -> SelectionResult:
+    """Greedy extended set cover under a budget of ``budget`` views.
+
+    ``candidates`` maps a view key to its element set.  Marginal benefit of
+    a view in a round is the total number of still-uncovered elements it
+    covers across all universes that contain it (optionally scaled by
+    ``weights`` — used to bias aggregate-view selection by path length /
+    query frequency).  Single-element sets are implicit: when no candidate
+    beats the best implicit singleton's benefit, selection stops (the
+    paper's termination rule).
+    """
+    if budget < 0:
+        raise ValueError("budget must be >= 0")
+    uncovered: list[set] = [set(u) for u in universes]
+    usable: dict[Hashable, list[int]] = {
+        key: [i for i, u in enumerate(universes) if elems <= u]
+        for key, elems in candidates.items()
+    }
+    result = SelectionResult()
+    remaining = dict(candidates)
+
+    while len(result.selected) < budget and remaining:
+        best_key = None
+        best_gain = 0.0
+        best_coverage = 0
+        for key in sorted(remaining, key=repr):
+            elems = remaining[key]
+            coverage = sum(
+                len(elems & uncovered[i]) for i in usable[key]
+            )
+            gain = float(coverage)
+            if weights is not None:
+                gain = gain * weights.get(key, 1.0)
+            if gain > best_gain:
+                best_gain = gain
+                best_key = key
+                best_coverage = coverage
+        # Benefit of the best implicit singleton: the most universes any
+        # single uncovered element appears in (weight 1 per universe).
+        singleton_gain = 0
+        element_counts: dict[Hashable, int] = {}
+        for u in uncovered:
+            for element in u:
+                element_counts[element] = element_counts.get(element, 0) + 1
+        if element_counts:
+            singleton_gain = max(element_counts.values())
+        # Stop when an existing single-edge bitmap would win the greedy
+        # round (the paper's termination rule).  Ties go to the view: a
+        # view covering c >= 2 elements replaces c bitmap fetches with one,
+        # while "choosing" a singleton changes nothing — its bitmap is
+        # already in the schema.
+        useless = best_key is None or best_coverage < 2
+        if useless or best_gain < singleton_gain:
+            result.stopped_on_singleton = bool(element_counts)
+            if result.stopped_on_singleton:
+                top = max(sorted(element_counts, key=repr), key=element_counts.get)
+                result.rounds.append((("singleton", top), singleton_gain))
+            break
+        result.selected.append(best_key)
+        result.rounds.append((best_key, int(best_gain)))
+        for i in usable[best_key]:
+            uncovered[i] -= remaining[best_key]
+        del remaining[best_key]
+
+    for i, universe in enumerate(universes):
+        result.coverage[i] = [
+            key for key in result.selected if candidates[key] <= universe
+        ]
+    return result
+
+
+def greedy_cover_query(
+    universe: frozenset,
+    views: Mapping[Hashable, frozenset],
+) -> tuple[list[Hashable], frozenset]:
+    """Single-universe greedy set cover for query answering (Section 5.3).
+
+    Returns the chosen view keys (each a subset of the universe, picked
+    largest-marginal-coverage-first) and the residue of elements left to
+    cover with their own ``b_i`` bitmaps.  The greedy solution is an
+    H(n)-approximation of the optimal rewrite.
+    """
+    uncovered = set(universe)
+    usable = {k: v for k, v in views.items() if v <= universe}
+    chosen: list[Hashable] = []
+    while uncovered and usable:
+        # First-wins tie-break over the mapping's (deterministic) insertion
+        # order — no repr serialization in this per-query hot path.
+        best_key = None
+        best_set: frozenset = frozenset()
+        gain = 0
+        for key, elems in usable.items():
+            key_gain = len(elems & uncovered)
+            if key_gain > gain:
+                gain = key_gain
+                best_key, best_set = key, elems
+        if best_key is None or gain <= 1:
+            # An existing single-element bitmap covers as much; stop using
+            # views — fetching them would not reduce column retrievals.
+            break
+        chosen.append(best_key)
+        uncovered -= best_set
+        del usable[best_key]
+    return chosen, frozenset(uncovered)

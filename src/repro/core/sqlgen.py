@@ -1,0 +1,72 @@
+"""Render execution plans as the SQL the paper issues to the column store.
+
+Section 4.2 evaluates a graph query with a statement of the form::
+
+    SELECT recid, m_q1, ..., m_qm
+    FROM R
+    WHERE b_q1 = 1 AND ... AND b_qm = 1
+
+and Section 5.1.1 rewrites it to use view bitmap columns.  These renderers
+produce exactly those statements from our plans — useful for EXPLAIN-style
+introspection, documentation, and for porting the framework onto a real
+column store.
+"""
+
+from __future__ import annotations
+
+from .catalog import EdgeCatalog
+from .record import Edge
+from .rewrite import AggregationPlan, GraphQueryPlan
+
+__all__ = ["render_graph_query", "render_aggregation"]
+
+
+def _measure_name(catalog: EdgeCatalog, element: Edge) -> str:
+    edge_id = catalog.get_id(element)
+    return f"m{edge_id}" if edge_id is not None else f"m?{element!r}"
+
+
+def _bitmap_name(catalog: EdgeCatalog, element: Edge) -> str:
+    edge_id = catalog.get_id(element)
+    return f"b{edge_id}" if edge_id is not None else f"b?{element!r}"
+
+
+def render_graph_query(plan: GraphQueryPlan, catalog: EdgeCatalog) -> str:
+    """SQL for a (possibly view-rewritten) graph query."""
+    selects = ["recid"] + [_measure_name(catalog, e) for e in plan.fetch_elements]
+    predicates = [f"{name} = 1" for name in plan.view_names]
+    predicates += [
+        f"{_bitmap_name(catalog, e)} = 1" for e in plan.residual_elements
+    ]
+    where = " AND ".join(predicates) if predicates else "1 = 1"
+    return f"SELECT {', '.join(selects)}\nFROM R\nWHERE {where}"
+
+
+def render_aggregation(plan: AggregationPlan, catalog: EdgeCatalog) -> str:
+    """SQL for a path-aggregation query.
+
+    Each maximal path becomes one select expression combining view columns
+    ``mp`` and raw measure columns; SUM-style combination is shown with
+    ``+`` per the paper's Table 1 example (``mp1 = m6 + m7``).
+    """
+    function = plan.query.function.upper()
+    selects = ["recid"]
+    for i, path_plan in enumerate(plan.path_plans):
+        terms: list[str] = []
+        for segment in path_plan.segments:
+            if segment.kind == "view":
+                terms.append(f"mp_{segment.view_name}")
+            else:
+                terms.append(_measure_name(catalog, segment.element))
+        if function == "SUM":
+            expression = " + ".join(terms)
+        else:
+            expression = f"{function}({', '.join(terms)})"
+        selects.append(f"{expression} AS path{i}_{function.lower()}")
+    predicates = [f"bp_{name} = 1" for name in plan.structural_agg_view_names]
+    predicates += [f"{name} = 1" for name in plan.structural_view_names]
+    predicates += [
+        f"{_bitmap_name(catalog, e)} = 1" for e in plan.residual_elements
+    ]
+    where = " AND ".join(predicates) if predicates else "1 = 1"
+    return f"SELECT {', '.join(selects)}\nFROM R\nWHERE {where}"

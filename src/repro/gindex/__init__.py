@@ -1,0 +1,15 @@
+"""gIndex-style fragment indexing (Section 6.3): frequent connected
+edge-set mining (the gSpan reduction for identified-node graphs),
+discriminative fragment selection, and engine integration."""
+
+from .fragments import select_discriminative_fragments
+from .integration import index_fragments, mine_and_index
+from .mining import Fragment, mine_frequent_fragments
+
+__all__ = [
+    "Fragment",
+    "mine_frequent_fragments",
+    "select_discriminative_fragments",
+    "index_fragments",
+    "mine_and_index",
+]

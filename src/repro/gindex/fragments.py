@@ -1,0 +1,77 @@
+"""Discriminative fragment selection, after gIndex (Yan, Yu & Han 2004).
+
+gIndex does not index every frequent fragment: a fragment earns an index
+feature only when it is *discriminative* — when the records containing it
+cannot already be pinned down by intersecting the records of its indexed
+subfragments.  Formally, with ``D_f`` the support set of fragment ``f``
+and ``F(f)`` its indexed subfragments, ``f`` is discriminative when::
+
+    |∩_{f' ∈ F(f)} D_{f'}|  /  |D_f|   >=   gamma_min
+
+(the paper's default γ_min = 2).  Size-1 fragments are always indexed —
+they are our framework's plain edge bitmaps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.record import Edge
+from .mining import Fragment
+
+__all__ = ["select_discriminative_fragments"]
+
+DEFAULT_GAMMA_MIN = 2.0
+
+
+def select_discriminative_fragments(
+    fragments: Sequence[Fragment],
+    record_elements: Sequence[frozenset],
+    gamma_min: float = DEFAULT_GAMMA_MIN,
+    max_selected: int | None = None,
+) -> list[Fragment]:
+    """The discriminative fragments among ``fragments``.
+
+    ``record_elements`` is the mining sample's element sets (used to
+    recompute support sets exactly).  Returns multi-edge fragments in
+    selection order (ascending size, then descending support), capped at
+    ``max_selected`` if given.
+    """
+    if gamma_min < 1.0:
+        raise ValueError("gamma_min must be >= 1")
+    # Support sets for every fragment on the sample.
+    support_sets: dict[frozenset[Edge], set[int]] = {}
+    for fragment in fragments:
+        rows = {
+            tid
+            for tid, elements in enumerate(record_elements)
+            if fragment.elements <= elements
+        }
+        support_sets[fragment.elements] = rows
+
+    # Size-1 fragments are implicitly indexed (the b_i columns).
+    indexed: list[frozenset[Edge]] = [
+        f.elements for f in fragments if len(f.elements) == 1
+    ]
+    selected: list[Fragment] = []
+    multi = sorted(
+        (f for f in fragments if len(f.elements) >= 2),
+        key=lambda f: (len(f.elements), -f.support, sorted(map(repr, f.elements))),
+    )
+    all_rows = set(range(len(record_elements)))
+    for fragment in multi:
+        if max_selected is not None and len(selected) >= max_selected:
+            break
+        ancestors = [
+            support_sets[idx] for idx in indexed if idx < fragment.elements
+        ]
+        projected = set(all_rows)
+        for rows in ancestors:
+            projected &= rows
+        own = support_sets[fragment.elements]
+        if not own:
+            continue
+        if len(projected) / len(own) >= gamma_min:
+            selected.append(fragment)
+            indexed.append(fragment.elements)
+    return selected

@@ -1,0 +1,110 @@
+"""Frequent subgraph mining over graph-record collections (gSpan stand-in).
+
+Section 7.3 mines frequent subgraphs with gSpan [16] and then selects
+gIndex's discriminative fragments [5] as extra index features.  In the
+paper's domain, nodes carry *globally unique business identifiers*
+(Section 1), so subgraph containment is plain edge-set containment — no
+isomorphism search, no canonical DFS codes.  gSpan therefore reduces to
+**frequent connected edge-set mining**, which we implement Eclat-style:
+level-wise growth of connected edge sets, with each set carrying its
+TID-list (the set of records containing it) so support counting is an
+intersection, exactly like the bitmap algebra the engine itself uses.
+
+The miner is still expensive relative to view selection (it walks the
+record collection's pattern lattice), reproducing the paper's observation
+that fragment selection took 1.5h on a 1% sample while view selection ran
+in under a second.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..core.record import Edge, GraphRecord
+
+__all__ = ["Fragment", "mine_frequent_fragments"]
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A frequent connected edge set with its support."""
+
+    elements: frozenset[Edge]
+    support: int
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+
+def _nodes_of(elements: Iterable[Edge]) -> frozenset[Hashable]:
+    out: set[Hashable] = set()
+    for u, v in elements:
+        out.add(u)
+        out.add(v)
+    return frozenset(out)
+
+
+def _is_connected_extension(elements: frozenset[Edge], edge: Edge) -> bool:
+    nodes = _nodes_of(elements)
+    return edge[0] in nodes or edge[1] in nodes
+
+
+def mine_frequent_fragments(
+    records: Sequence[GraphRecord] | Sequence[frozenset],
+    min_support: int,
+    max_size: int = 4,
+    max_fragments: int = 10_000,
+) -> list[Fragment]:
+    """Frequent connected edge sets of size 1..``max_size``.
+
+    ``records`` may be :class:`GraphRecord` objects or plain element sets
+    (e.g. a corpus sample).  ``min_support`` is an absolute record count.
+    ``max_fragments`` caps the exploration as a safety valve.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be >= 1")
+    element_sets: list[frozenset[Edge]] = [
+        r.elements() if isinstance(r, GraphRecord) else frozenset(r) for r in records
+    ]
+    # TID-lists per single edge.
+    tids: dict[Edge, set[int]] = {}
+    for tid, elements in enumerate(element_sets):
+        for edge in elements:
+            tids.setdefault(edge, set()).add(tid)
+    frequent_edges = {
+        edge: rows for edge, rows in tids.items() if len(rows) >= min_support
+    }
+    level: dict[frozenset[Edge], set[int]] = {
+        frozenset([edge]): rows for edge, rows in frequent_edges.items()
+    }
+    fragments: list[Fragment] = [
+        Fragment(elements, len(rows)) for elements, rows in level.items()
+    ]
+    size = 1
+    while level and size < max_size and len(fragments) < max_fragments:
+        size += 1
+        next_level: dict[frozenset[Edge], set[int]] = {}
+        for elements, rows in level.items():
+            for edge, edge_rows in frequent_edges.items():
+                if edge in elements:
+                    continue
+                if not _is_connected_extension(elements, edge):
+                    continue
+                extended = elements | {edge}
+                if extended in next_level:
+                    continue
+                support_rows = rows & edge_rows
+                if len(support_rows) >= min_support:
+                    next_level[extended] = support_rows
+                if len(fragments) + len(next_level) >= max_fragments:
+                    break
+            if len(fragments) + len(next_level) >= max_fragments:
+                break
+        fragments.extend(
+            Fragment(elements, len(rows)) for elements, rows in next_level.items()
+        )
+        level = next_level
+    fragments.sort(key=lambda f: (-f.support, -len(f.elements), sorted(map(repr, f.elements))))
+    return fragments

@@ -1,0 +1,126 @@
+"""Record interchange formats: JSON-lines and CSV triplets.
+
+Real deployments ingest graph records from application logs; two common
+encodings are supported:
+
+* **JSONL** — one record per line:
+  ``{"id": "r1", "measures": [["A","D",3.0], ["D","D",1.5]], "metadata": {...}}``
+  (a two-element self pair ``["D","D",…]`` is node D's own measure);
+* **CSV triplets** — the row-store's natural dump, one measure per row:
+  ``recid,source,target,value`` with an optional header.
+
+Both directions round-trip exactly (modulo float formatting in CSV).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path as FsPath
+
+from .core.record import GraphRecord
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "write_csv_triplets",
+    "read_csv_triplets",
+]
+
+
+def _record_to_dict(record: GraphRecord) -> dict:
+    measures = [[u, v, value] for (u, v), value in sorted(
+        record.measures().items(), key=lambda kv: (repr(kv[0][0]), repr(kv[0][1]))
+    )]
+    out = {"id": record.record_id, "measures": measures}
+    if record.metadata:
+        out["metadata"] = record.metadata
+    return out
+
+
+def _record_from_dict(payload: dict) -> GraphRecord:
+    try:
+        record_id = payload["id"]
+        raw = payload["measures"]
+    except KeyError as exc:
+        raise ValueError(f"record object missing field {exc}") from None
+    measures = {}
+    for entry in raw:
+        if len(entry) != 3:
+            raise ValueError(f"measure entry must be [u, v, value]: {entry!r}")
+        u, v, value = entry
+        measures[(u, v)] = float(value)
+    return GraphRecord(record_id, measures, payload.get("metadata"))
+
+
+def write_jsonl(records: Iterable[GraphRecord], path: str | FsPath) -> int:
+    """Write records as JSON-lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(_record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | FsPath) -> Iterator[GraphRecord]:
+    """Stream records from a JSON-lines file."""
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: invalid JSON: {exc}") from None
+            yield _record_from_dict(payload)
+
+
+def write_csv_triplets(
+    records: Iterable[GraphRecord], path: str | FsPath, header: bool = True
+) -> int:
+    """Write records as (recid, source, target, value) rows."""
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        if header:
+            writer.writerow(["recid", "source", "target", "value"])
+        for record in records:
+            for (u, v), value in sorted(
+                record.measures().items(),
+                key=lambda kv: (repr(kv[0][0]), repr(kv[0][1])),
+            ):
+                writer.writerow([record.record_id, u, v, value])
+            count += 1
+    return count
+
+
+def read_csv_triplets(path: str | FsPath) -> Iterator[GraphRecord]:
+    """Stream records from a triplet CSV.
+
+    Rows for one record must be contiguous (as :func:`write_csv_triplets`
+    produces them); an optional ``recid,source,target,value`` header is
+    skipped automatically.
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        current_id = None
+        measures: dict = {}
+        for row_no, row in enumerate(reader, start=1):
+            if not row:
+                continue
+            if row_no == 1 and row[:4] == ["recid", "source", "target", "value"]:
+                continue
+            if len(row) != 4:
+                raise ValueError(f"{path}:{row_no}: expected 4 columns, got {len(row)}")
+            recid, u, v, value = row
+            if recid != current_id:
+                if current_id is not None:
+                    yield GraphRecord(current_id, measures)
+                current_id = recid
+                measures = {}
+            measures[(u, v)] = float(value)
+        if current_id is not None:
+            yield GraphRecord(current_id, measures)

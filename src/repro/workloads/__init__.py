@@ -1,0 +1,34 @@
+"""Workload generation: base networks, record corpora, query workloads,
+and the paper's named dataset configurations (Table 2)."""
+
+from .datasets import DATASETS, DatasetSpec, build_dataset, corpus_statistics
+from .networks import gnutella_network, ny_road_network
+from .queries import (
+    as_aggregate_queries,
+    path_pool,
+    sample_dense_queries,
+    sample_path_queries,
+)
+from .records import (
+    RecordCorpus,
+    generate_corpus,
+    generate_dense_corpus,
+    sample_edge_universe,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "build_dataset",
+    "corpus_statistics",
+    "gnutella_network",
+    "ny_road_network",
+    "as_aggregate_queries",
+    "path_pool",
+    "sample_dense_queries",
+    "sample_path_queries",
+    "RecordCorpus",
+    "generate_corpus",
+    "generate_dense_corpus",
+    "sample_edge_universe",
+]

@@ -1,0 +1,128 @@
+"""Query workload generation (Section 7.1).
+
+The paper's workloads are sets of 100 query graphs "generated either with
+uniform or with Zipf distribution from the set of paths resulting from the
+random walk processes".  We reproduce that: a pool of candidate paths is
+carved out of the corpus walks, and queries sample from the pool either
+uniformly or with Zipf(s) rank weights — the skewed case shares subpaths
+across queries, which is what makes materialized views shine in Figure 8.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Hashable
+
+import numpy as np
+
+from ..core.query import GraphQuery, PathAggregationQuery
+from .records import RecordCorpus
+
+__all__ = [
+    "path_pool",
+    "sample_path_queries",
+    "sample_dense_queries",
+    "as_aggregate_queries",
+]
+
+
+def path_pool(
+    corpus: RecordCorpus,
+    n_edges: int,
+    pool_size: int = 1000,
+    seed: int = 0,
+) -> list[tuple[Hashable, ...]]:
+    """A pool of distinct ``n_edges``-hop node sequences cut from the
+    corpus walks (the sampling frame for query generation)."""
+    if not corpus.walks:
+        raise ValueError("corpus has no walks to draw paths from")
+    rng = np.random.default_rng(seed)
+    # Prefer walks long enough for exact n_edges-hop paths; fall back to
+    # the full walk set (clipping) only when none are long enough.
+    eligible = [w for w in corpus.walks if len(w) - 1 >= n_edges]
+    frame = eligible if eligible else corpus.walks
+    pool: list[tuple[Hashable, ...]] = []
+    seen: set[tuple[Hashable, ...]] = set()
+    attempts = 0
+    max_attempts = pool_size * 50
+    while len(pool) < pool_size and attempts < max_attempts:
+        attempts += 1
+        walk = frame[int(rng.integers(len(frame)))]
+        max_hops = len(walk) - 1
+        if max_hops < 1:
+            continue
+        hops = min(n_edges, max_hops)
+        start = int(rng.integers(max_hops - hops + 1))
+        nodes = tuple(walk[start : start + hops + 1])
+        if nodes not in seen:
+            seen.add(nodes)
+            pool.append(nodes)
+    if not pool:
+        raise ValueError("could not build a query path pool")
+    return pool
+
+
+def sample_path_queries(
+    corpus: RecordCorpus,
+    n_queries: int,
+    n_edges: int,
+    distribution: str = "uniform",
+    zipf_s: float = 1.2,
+    seed: int = 0,
+    pool_size: int | None = None,
+) -> list[GraphQuery]:
+    """``n_queries`` path queries of ``n_edges`` hops from the walk pool.
+
+    ``distribution`` is ``"uniform"`` or ``"zipf"``; the Zipf case weights
+    pool entries by ``1/rank^s``, concentrating the workload on a few hot
+    paths (and their shared subpaths).  Queries may repeat under Zipf, as
+    in a real skewed workload.
+    """
+    rng = np.random.default_rng(seed)
+    pool = path_pool(
+        corpus,
+        n_edges,
+        pool_size=pool_size if pool_size is not None else max(4 * n_queries, 100),
+        seed=seed,
+    )
+    if distribution == "uniform":
+        weights = np.ones(len(pool))
+    elif distribution == "zipf":
+        ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+        weights = 1.0 / np.power(ranks, zipf_s)
+    else:
+        raise ValueError(f"unknown distribution {distribution!r}")
+    weights /= weights.sum()
+    chosen = rng.choice(len(pool), size=n_queries, p=weights)
+    return [GraphQuery.from_node_chain(*pool[i]) for i in chosen]
+
+
+def sample_dense_queries(
+    corpus: RecordCorpus,
+    n_queries: int,
+    density: float,
+    seed: int = 0,
+) -> list[GraphQuery]:
+    """Queries for the density experiment: each query takes the edge set
+    of a random record scaled to ``density × universe`` edges, so query
+    density tracks record density as in Figure 3(c)."""
+    rng = np.random.default_rng(seed)
+    n_edges = max(1, round(density * len(corpus.universe)))
+    out: list[GraphQuery] = []
+    for _ in range(n_queries):
+        row = int(rng.integers(corpus.n_records))
+        edge_indices = corpus.record_edges[row]
+        if edge_indices.size > n_edges:
+            picked = rng.choice(edge_indices, size=n_edges, replace=False)
+        else:
+            picked = edge_indices
+        out.append(GraphQuery([corpus.universe[i] for i in picked.tolist()]))
+    return out
+
+
+def as_aggregate_queries(
+    queries: Sequence[GraphQuery], function: str = "sum"
+) -> list[PathAggregationQuery]:
+    """Wrap graph queries into path-aggregation queries (SUM by default,
+    the function used throughout the paper's experiments)."""
+    return [PathAggregationQuery(q, function) for q in queries]

@@ -1,0 +1,118 @@
+"""Tests for the workload-adaptive view advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor import AdaptiveViewAdvisor
+from repro.core import GraphAnalyticsEngine, GraphQuery, GraphRecord
+
+
+def engine_with_data():
+    engine = GraphAnalyticsEngine()
+    engine.load_records(
+        [
+            GraphRecord("r1", {("A", "B"): 1.0, ("B", "C"): 2.0, ("C", "D"): 3.0}),
+            GraphRecord("r2", {("A", "B"): 4.0, ("B", "C"): 5.0}),
+            GraphRecord("r3", {("C", "D"): 6.0, ("D", "E"): 7.0}),
+        ]
+    )
+    return engine
+
+
+HOT = GraphQuery.from_node_chain("A", "B", "C")
+COLD = GraphQuery.from_node_chain("C", "D", "E")
+
+
+class TestConstruction:
+    def test_validation(self):
+        engine = engine_with_data()
+        with pytest.raises(ValueError):
+            AdaptiveViewAdvisor(engine, budget=-1)
+        with pytest.raises(ValueError):
+            AdaptiveViewAdvisor(engine, budget=1, window=0)
+
+    def test_refresh_on_empty_window(self):
+        advisor = AdaptiveViewAdvisor(engine_with_data(), budget=2)
+        summary = advisor.refresh()
+        assert summary == {"kept": [], "added": [], "dropped": []}
+
+
+class TestAdaptation:
+    def test_materializes_hot_query(self):
+        engine = engine_with_data()
+        advisor = AdaptiveViewAdvisor(engine, budget=2)
+        for _ in range(5):
+            advisor.execute(HOT)
+        summary = advisor.refresh()
+        assert summary["added"]
+        assert HOT.elements in set(advisor.managed_views.values())
+        # Subsequent executions use the new view.
+        assert engine.plan_query(HOT).view_names
+
+    def test_answers_unchanged_across_refreshes(self):
+        engine = engine_with_data()
+        advisor = AdaptiveViewAdvisor(engine, budget=2)
+        expected = engine.query(HOT).record_ids
+        for _ in range(3):
+            advisor.execute(HOT)
+            advisor.refresh()
+        assert engine.query(HOT).record_ids == expected
+
+    def test_drops_views_when_workload_shifts(self):
+        engine = engine_with_data()
+        advisor = AdaptiveViewAdvisor(engine, budget=1, window=4)
+        for _ in range(4):
+            advisor.observe(HOT)
+        advisor.refresh()
+        hot_views = set(advisor.managed_views.values())
+        assert HOT.elements in hot_views
+        # Workload shifts entirely to COLD; HOT ages out of the window.
+        for _ in range(4):
+            advisor.observe(COLD)
+        summary = advisor.refresh()
+        assert summary["dropped"]
+        assert COLD.elements in set(advisor.managed_views.values())
+        assert HOT.elements not in set(advisor.managed_views.values())
+
+    def test_budget_respected(self):
+        engine = engine_with_data()
+        advisor = AdaptiveViewAdvisor(engine, budget=1)
+        for q in (HOT, COLD, HOT, COLD):
+            advisor.observe(q)
+        advisor.refresh()
+        assert len(advisor.managed_views) <= 1
+
+    def test_auto_refresh_every_n(self):
+        engine = engine_with_data()
+        advisor = AdaptiveViewAdvisor(engine, budget=2, refresh_every=3)
+        for _ in range(3):
+            advisor.observe(HOT)
+        assert advisor.refreshes == 1
+
+    def test_unmanaged_views_preserved(self):
+        engine = engine_with_data()
+        engine.add_graph_view([("C", "D"), ("D", "E")], name="manual")
+        advisor = AdaptiveViewAdvisor(engine, budget=1, window=4)
+        for _ in range(4):
+            advisor.observe(HOT)
+        advisor.refresh()
+        for _ in range(4):
+            advisor.observe(COLD)
+        advisor.refresh()  # forces drops of managed views
+        assert "manual" in engine.graph_views
+
+    def test_hysteresis_keeps_still_useful_views(self):
+        engine = engine_with_data()
+        advisor = AdaptiveViewAdvisor(engine, budget=2, window=6)
+        for _ in range(6):
+            advisor.observe(HOT)
+        advisor.refresh()
+        # HOT still appears occasionally: its view must survive.
+        for q in (COLD, HOT, COLD, HOT, COLD, HOT):
+            advisor.observe(q)
+        summary = advisor.refresh()
+        assert HOT.elements in set(advisor.managed_views.values())
+        assert not summary["dropped"] or HOT.elements in set(
+            advisor.managed_views.values()
+        )

@@ -1,0 +1,143 @@
+"""Tests for aggregate functions and partial-aggregate composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AggregateFunction, get_function, register_function
+from repro.core.aggregates import FUNCTIONS
+
+
+def arrays(*rows):
+    return [np.asarray(r, dtype=np.float64) for r in rows]
+
+
+class TestBasicFunctions:
+    def test_sum(self):
+        out = get_function("sum")(arrays([1, 2], [3, 4]))
+        assert out.tolist() == [4.0, 6.0]
+
+    def test_sum_skips_nan(self):
+        out = get_function("sum")(arrays([1, np.nan], [3, 4]))
+        assert out.tolist() == [4.0, 4.0]
+
+    def test_min_max(self):
+        assert get_function("min")(arrays([1, 9], [3, 4])).tolist() == [1.0, 4.0]
+        assert get_function("max")(arrays([1, 9], [3, 4])).tolist() == [3.0, 9.0]
+
+    def test_count(self):
+        out = get_function("count")(arrays([1, np.nan], [np.nan, np.nan]))
+        assert out.tolist() == [1.0, 0.0]
+
+    def test_avg(self):
+        out = get_function("avg")(arrays([1, 2], [3, 6]))
+        assert out.tolist() == [2.0, 4.0]
+
+    def test_avg_all_null_is_nan(self):
+        out = get_function("avg")(arrays([np.nan], [np.nan]))
+        assert np.isnan(out[0])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            get_function("sum")([])
+
+    def test_lookup_case_insensitive(self):
+        assert get_function("SUM") is get_function("sum")
+
+    def test_unknown_function(self):
+        with pytest.raises(KeyError, match="unknown aggregate"):
+            get_function("median")
+
+
+class TestRegistry:
+    def test_register_custom(self):
+        fn = AggregateFunction("teststd", lambda a: np.nanstd(np.vstack(a), axis=0))
+        register_function(fn)
+        try:
+            assert get_function("teststd") is fn
+        finally:
+            del FUNCTIONS["teststd"]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_function(AggregateFunction("sum", lambda a: a))
+
+    def test_algebraic_flags(self):
+        assert not get_function("sum").is_algebraic()
+        assert get_function("avg").is_algebraic()
+        assert get_function("avg").sub_aggregates == ("sum", "count")
+
+
+class TestPartialComposition:
+    """Pre-aggregated partials must merge to the same result as raw input
+    — the property aggregate graph views rely on (Section 5.1.2)."""
+
+    def test_sum_partials(self):
+        fn = get_function("sum")
+        raw = arrays([1, 2], [3, 4], [5, 6])
+        direct = fn(raw)
+        partial = fn(raw[:2])
+        merged = fn.merge_partials([partial, fn.lift(raw[2])])
+        assert merged.tolist() == direct.tolist()
+
+    def test_count_partials_merge_with_sum(self):
+        fn = get_function("count")
+        raw = arrays([1, np.nan], [3, 4], [5, np.nan])
+        direct = fn(raw)
+        partial = fn(raw[:2])
+        merged = fn.merge_partials([partial, fn.lift(raw[2])])
+        assert merged.tolist() == direct.tolist()
+
+    def test_count_lift_is_presence(self):
+        fn = get_function("count")
+        assert fn.lift(np.array([1.0, np.nan])).tolist() == [1.0, 0.0]
+
+    def test_min_partials(self):
+        fn = get_function("min")
+        raw = arrays([5, 1], [2, 8], [7, 0])
+        direct = fn(raw)
+        merged = fn.merge_partials([fn(raw[:2]), fn.lift(raw[2])])
+        assert merged.tolist() == direct.tolist()
+
+    @given(
+        st.lists(
+            st.lists(st.floats(min_value=-100, max_value=100), min_size=3, max_size=3),
+            min_size=2,
+            max_size=6,
+        ),
+        st.sampled_from(["sum", "min", "max", "count"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_any_split_merges_to_direct(self, rows, name):
+        fn = get_function(name)
+        raw = arrays(*rows)
+        direct = fn(raw)
+        for cut in range(1, len(raw)):
+            left = fn(raw[:cut])
+            rights = [fn.lift(r) for r in raw[cut:]]
+            merged = fn.merge_partials([left] + rights)
+            assert np.allclose(merged, direct)
+
+    @given(
+        st.lists(
+            st.lists(st.floats(min_value=-50, max_value=50), min_size=2, max_size=2),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_avg_from_sub_aggregates(self, rows):
+        raw = arrays(*rows)
+        avg = get_function("avg")
+        direct = avg(raw)
+        for cut in range(1, len(raw)):
+            sub = {}
+            for sub_name in avg.sub_aggregates:
+                sub_fn = get_function(sub_name)
+                partial = sub_fn(raw[:cut])
+                lifted = [sub_fn.lift(r) for r in raw[cut:]]
+                sub[sub_name] = sub_fn.merge_partials([partial] + lifted)
+            assert np.allclose(avg.finalize(sub), direct)

@@ -1,0 +1,184 @@
+"""Tests for the three comparison systems, including cross-system
+equivalence with the column-store engine (all four must agree)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import NativeGraphStore, RdfTripleStore, RowStore
+from repro.core import (
+    GraphAnalyticsEngine,
+    GraphQuery,
+    GraphRecord,
+    Path,
+    PathAggregationQuery,
+)
+
+RECORDS = [
+    GraphRecord("r1", {("A", "B"): 1.0, ("B", "C"): 2.0, ("C", "D"): 3.0}),
+    GraphRecord("r2", {("A", "B"): 4.0, ("B", "C"): 5.0}),
+    GraphRecord("r3", {("B", "C"): 6.0, ("C", "D"): 7.0, ("D", "E"): 8.0}),
+    GraphRecord("r4", {("X", "Y"): 9.0}),
+]
+
+ALL_STORES = [RowStore, NativeGraphStore, RdfTripleStore]
+
+
+def loaded(cls):
+    store = cls()
+    store.load_records(RECORDS)
+    return store
+
+
+@pytest.mark.parametrize("cls", ALL_STORES)
+class TestCommonBehaviour:
+    def test_load_count(self, cls):
+        store = cls()
+        assert store.load_records(RECORDS) == 4
+
+    def test_simple_query(self, cls):
+        result = loaded(cls).query(GraphQuery([("A", "B")]))
+        assert sorted(result.record_ids) == ["r1", "r2"]
+
+    def test_multi_edge_query(self, cls):
+        result = loaded(cls).query(GraphQuery.from_node_chain("B", "C", "D"))
+        assert sorted(result.record_ids) == ["r1", "r3"]
+
+    def test_no_match(self, cls):
+        result = loaded(cls).query(GraphQuery([("E", "A")]))
+        assert result.record_ids == []
+
+    def test_unknown_edge(self, cls):
+        result = loaded(cls).query(GraphQuery([("ZZ", "QQ")]))
+        assert result.record_ids == []
+
+    def test_measures_returned(self, cls):
+        result = loaded(cls).query(GraphQuery([("A", "B")]))
+        by_id = dict(zip(result.record_ids, result.measures))
+        assert by_id["r1"][("A", "B")] == 1.0
+        assert by_id["r2"][("A", "B")] == 4.0
+
+    def test_aggregate_sum(self, cls):
+        q = PathAggregationQuery(GraphQuery.from_node_chain("A", "B", "C"), "sum")
+        out = loaded(cls).aggregate(q)
+        assert set(out) == {"r1", "r2"}
+        assert out["r1"][Path.closed("A", "B", "C")] == 3.0
+        assert out["r2"][Path.closed("A", "B", "C")] == 9.0
+
+    def test_aggregate_max(self, cls):
+        q = PathAggregationQuery(GraphQuery.from_node_chain("B", "C", "D"), "max")
+        out = loaded(cls).aggregate(q)
+        assert out["r3"][Path.closed("B", "C", "D")] == 7.0
+
+    def test_disk_size_positive(self, cls):
+        assert loaded(cls).disk_size_bytes() > 0
+
+    def test_disk_size_grows_with_data(self, cls):
+        small = cls()
+        small.load_records(RECORDS[:1])
+        big = cls()
+        big.load_records(RECORDS)
+        assert big.disk_size_bytes() > small.disk_size_bytes()
+
+    def test_result_len(self, cls):
+        result = loaded(cls).query(GraphQuery([("B", "C")]))
+        assert len(result) == 3
+        assert result.n_measure_values() == 3
+
+
+class TestStoreSpecifics:
+    def test_neo4j_largest_footprint(self):
+        """Figure 4: the native graph store needs the most disk space."""
+        stores = [loaded(cls) for cls in ALL_STORES]
+        sizes = {s.name: s.disk_size_bytes() for s in stores}
+        assert sizes["graph-db"] == max(sizes.values())
+
+    def test_graphdb_candidate_index(self):
+        store = loaded(NativeGraphStore)
+        # Least-frequent node of (X, Y) has a single posting.
+        assert store._candidates(GraphQuery([("X", "Y")])) == [3]
+
+    def test_rowstore_row_count(self):
+        store = loaded(RowStore)
+        assert store._n_rows == sum(len(r) for r in RECORDS)
+
+    def test_rdf_triple_count(self):
+        store = loaded(RdfTripleStore)
+        assert store._n_triples == 3 * sum(len(r) for r in RECORDS)
+
+
+@st.composite
+def random_collections(draw):
+    """A small random record collection plus a query drawn from it."""
+    nodes = "ABCDEF"
+    n_records = draw(st.integers(min_value=1, max_value=8))
+    records = []
+    for i in range(n_records):
+        size = draw(st.integers(min_value=1, max_value=5))
+        elements = draw(
+            st.sets(
+                st.tuples(st.sampled_from(nodes), st.sampled_from(nodes)),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        measures = {e: float(j + 1) for j, e in enumerate(sorted(elements))}
+        records.append(GraphRecord(f"r{i}", measures))
+    query_size = draw(st.integers(min_value=1, max_value=3))
+    query_elements = draw(
+        st.sets(
+            st.tuples(st.sampled_from(nodes), st.sampled_from(nodes)),
+            min_size=query_size,
+            max_size=query_size,
+        )
+    )
+    return records, GraphQuery(query_elements)
+
+
+class TestCrossSystemEquivalence:
+    """All four systems must return identical answer sets — the paper's
+    systems differ in speed, never in semantics."""
+
+    @given(random_collections())
+    @settings(max_examples=40, deadline=None)
+    def test_same_answers_everywhere(self, case):
+        records, query = case
+        engine = GraphAnalyticsEngine()
+        engine.load_records(records)
+        expected = sorted(engine.query(query).record_ids)
+        for cls in ALL_STORES:
+            store = cls()
+            store.load_records(records)
+            assert sorted(store.query(query).record_ids) == expected, cls.name
+
+    @given(random_collections())
+    @settings(max_examples=25, deadline=None)
+    def test_reference_containment(self, case):
+        records, query = case
+        expected = sorted(r.record_id for r in records if query.matches(r))
+        engine = GraphAnalyticsEngine()
+        engine.load_records(records)
+        assert sorted(engine.query(query).record_ids) == expected
+
+    def test_aggregation_agrees_with_engine(self):
+        engine = GraphAnalyticsEngine()
+        engine.load_records(RECORDS)
+        q = PathAggregationQuery(GraphQuery.from_node_chain("A", "B", "C"), "sum")
+        engine_result = engine.aggregate(q)
+        engine_values = dict(
+            zip(
+                engine_result.record_ids,
+                engine_result.path_values[Path.closed("A", "B", "C")].tolist(),
+            )
+        )
+        for cls in ALL_STORES:
+            store = cls()
+            store.load_records(RECORDS)
+            out = store.aggregate(q)
+            store_values = {
+                rid: paths[Path.closed("A", "B", "C")] for rid, paths in out.items()
+            }
+            assert store_values == pytest.approx(engine_values), cls.name

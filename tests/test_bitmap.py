@@ -1,0 +1,289 @@
+"""Unit and property tests for the packed bitmap engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnstore import Bitmap, BitmapBuilder
+
+
+class TestConstruction:
+    def test_zeros_has_no_set_bits(self):
+        bm = Bitmap.zeros(130)
+        assert bm.count() == 0
+        assert not bm.any()
+
+    def test_ones_has_all_bits(self):
+        bm = Bitmap.ones(130)
+        assert bm.count() == 130
+        assert bm.all()
+
+    def test_ones_masks_tail_past_length(self):
+        bm = Bitmap.ones(65)
+        assert bm.count() == 65
+        assert bm.to_indices().max() == 64
+
+    def test_from_indices_roundtrip(self):
+        bm = Bitmap.from_indices(200, [0, 63, 64, 127, 199])
+        assert bm.to_indices().tolist() == [0, 63, 64, 127, 199]
+
+    def test_from_indices_rejects_out_of_range(self):
+        with pytest.raises(IndexError):
+            Bitmap.from_indices(10, [10])
+        with pytest.raises(IndexError):
+            Bitmap.from_indices(10, [-1])
+
+    def test_from_indices_empty(self):
+        assert Bitmap.from_indices(10, []).count() == 0
+
+    def test_from_bools(self):
+        bm = Bitmap.from_bools([True, False, True, True])
+        assert bm.length == 4
+        assert bm.to_indices().tolist() == [0, 2, 3]
+
+    def test_from_bools_empty(self):
+        bm = Bitmap.from_bools([])
+        assert bm.length == 0
+        assert bm.count() == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap(-1)
+
+    def test_zero_length(self):
+        bm = Bitmap.zeros(0)
+        assert bm.count() == 0
+        assert bm.to_indices().size == 0
+
+
+class TestAccess:
+    def test_getitem(self):
+        bm = Bitmap.from_indices(100, [5, 64])
+        assert bm[5] and bm[64]
+        assert not bm[6]
+
+    def test_getitem_negative_index(self):
+        bm = Bitmap.from_indices(10, [9])
+        assert bm[-1]
+
+    def test_getitem_out_of_range(self):
+        with pytest.raises(IndexError):
+            Bitmap.zeros(10)[10]
+
+    def test_len(self):
+        assert len(Bitmap.zeros(77)) == 77
+
+    def test_to_bools(self):
+        flags = [True, False, False, True, True]
+        assert Bitmap.from_bools(flags).to_bools().tolist() == flags
+
+    def test_iter_indices(self):
+        bm = Bitmap.from_indices(10, [1, 7])
+        assert list(bm.iter_indices()) == [1, 7]
+
+    def test_repr_truncates(self):
+        bm = Bitmap.from_indices(100, range(20))
+        assert "..." in repr(bm)
+
+
+class TestAlgebra:
+    def test_and(self):
+        a = Bitmap.from_indices(100, [1, 2, 3, 70])
+        b = Bitmap.from_indices(100, [2, 3, 4, 71])
+        assert (a & b).to_indices().tolist() == [2, 3]
+
+    def test_or(self):
+        a = Bitmap.from_indices(100, [1, 70])
+        b = Bitmap.from_indices(100, [2, 70])
+        assert (a | b).to_indices().tolist() == [1, 2, 70]
+
+    def test_xor(self):
+        a = Bitmap.from_indices(10, [1, 2])
+        b = Bitmap.from_indices(10, [2, 3])
+        assert (a ^ b).to_indices().tolist() == [1, 3]
+
+    def test_sub_is_and_not(self):
+        a = Bitmap.from_indices(10, [1, 2, 3])
+        b = Bitmap.from_indices(10, [2])
+        assert (a - b).to_indices().tolist() == [1, 3]
+
+    def test_invert_respects_length(self):
+        a = Bitmap.from_indices(70, [0])
+        inv = ~a
+        assert inv.count() == 69
+        assert not inv[0]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Bitmap.zeros(10) & Bitmap.zeros(11)
+
+    def test_and_all(self):
+        bms = [
+            Bitmap.from_indices(50, [1, 2, 3]),
+            Bitmap.from_indices(50, [2, 3, 4]),
+            Bitmap.from_indices(50, [3, 4, 5]),
+        ]
+        assert Bitmap.and_all(bms).to_indices().tolist() == [3]
+
+    def test_and_all_single(self):
+        bm = Bitmap.from_indices(10, [4])
+        assert Bitmap.and_all([bm]) == bm
+
+    def test_and_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            Bitmap.and_all([])
+
+    def test_or_all(self):
+        bms = [Bitmap.from_indices(10, [i]) for i in range(3)]
+        assert Bitmap.or_all(bms).to_indices().tolist() == [0, 1, 2]
+
+    def test_or_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            Bitmap.or_all([])
+
+    def test_and_all_does_not_mutate_inputs(self):
+        a = Bitmap.from_indices(10, [1, 2])
+        b = Bitmap.from_indices(10, [2])
+        Bitmap.and_all([a, b])
+        assert a.to_indices().tolist() == [1, 2]
+
+
+class TestSetPredicates:
+    def test_isdisjoint(self):
+        a = Bitmap.from_indices(10, [1])
+        b = Bitmap.from_indices(10, [2])
+        assert a.isdisjoint(b)
+        assert not a.isdisjoint(a)
+
+    def test_issubset(self):
+        small = Bitmap.from_indices(10, [1, 2])
+        big = Bitmap.from_indices(10, [1, 2, 3])
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+    def test_equality_and_hash(self):
+        a = Bitmap.from_indices(10, [3])
+        b = Bitmap.from_indices(10, [3])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Bitmap.from_indices(10, [4])
+        assert a != Bitmap.from_indices(11, [3])
+
+
+class TestDerivation:
+    def test_set_returns_copy(self):
+        a = Bitmap.zeros(10)
+        b = a.set(3)
+        assert not a[3] and b[3]
+
+    def test_clear_returns_copy(self):
+        a = Bitmap.ones(10)
+        b = a.clear(3)
+        assert a[3] and not b[3]
+
+    def test_set_out_of_range(self):
+        with pytest.raises(IndexError):
+            Bitmap.zeros(5).set(5)
+
+    def test_resized_extend(self):
+        a = Bitmap.from_indices(10, [9])
+        b = a.resized(100)
+        assert b.length == 100
+        assert b.to_indices().tolist() == [9]
+
+    def test_resized_truncate_masks_tail(self):
+        a = Bitmap.from_indices(100, [5, 99])
+        b = a.resized(50)
+        assert b.to_indices().tolist() == [5]
+
+    def test_nbytes(self):
+        assert Bitmap.zeros(64).nbytes() == 8
+        assert Bitmap.zeros(65).nbytes() == 16
+
+    def test_words_readonly(self):
+        words = Bitmap.zeros(10).words()
+        with pytest.raises(ValueError):
+            words[0] = 1
+
+
+class TestBuilder:
+    def test_builder_appends(self):
+        builder = BitmapBuilder()
+        builder.append(True)
+        builder.append(False)
+        builder.extend([True, True])
+        assert len(builder) == 4
+        assert builder.build().to_indices().tolist() == [0, 2, 3]
+
+    def test_builder_empty(self):
+        assert BitmapBuilder().build().length == 0
+
+
+@st.composite
+def index_sets(draw, max_length=300):
+    length = draw(st.integers(min_value=1, max_value=max_length))
+    indices = draw(st.sets(st.integers(min_value=0, max_value=length - 1)))
+    return length, sorted(indices)
+
+
+class TestProperties:
+    """Bitmap algebra must agree with Python set algebra."""
+
+    @given(index_sets(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_and_matches_set_intersection(self, pair, data):
+        length, a_idx = pair
+        b_idx = data.draw(st.sets(st.integers(min_value=0, max_value=length - 1)))
+        a = Bitmap.from_indices(length, a_idx)
+        b = Bitmap.from_indices(length, sorted(b_idx))
+        assert set((a & b).to_indices().tolist()) == set(a_idx) & b_idx
+
+    @given(index_sets(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_or_matches_set_union(self, pair, data):
+        length, a_idx = pair
+        b_idx = data.draw(st.sets(st.integers(min_value=0, max_value=length - 1)))
+        a = Bitmap.from_indices(length, a_idx)
+        b = Bitmap.from_indices(length, sorted(b_idx))
+        assert set((a | b).to_indices().tolist()) == set(a_idx) | b_idx
+
+    @given(index_sets(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_sub_matches_set_difference(self, pair, data):
+        length, a_idx = pair
+        b_idx = data.draw(st.sets(st.integers(min_value=0, max_value=length - 1)))
+        a = Bitmap.from_indices(length, a_idx)
+        b = Bitmap.from_indices(length, sorted(b_idx))
+        assert set((a - b).to_indices().tolist()) == set(a_idx) - b_idx
+
+    @given(index_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_cardinality(self, pair):
+        length, indices = pair
+        assert Bitmap.from_indices(length, indices).count() == len(indices)
+
+    @given(index_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_indices(self, pair):
+        length, indices = pair
+        bm = Bitmap.from_indices(length, indices)
+        assert bm.to_indices().tolist() == indices
+
+    @given(index_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_double_invert_is_identity(self, pair):
+        length, indices = pair
+        bm = Bitmap.from_indices(length, indices)
+        assert ~~bm == bm
+
+    @given(index_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_demorgan(self, pair):
+        length, indices = pair
+        a = Bitmap.from_indices(length, indices)
+        b = Bitmap.from_indices(length, [i for i in range(length) if i % 3 == 0])
+        assert ~(a & b) == (~a | ~b)
+        assert ~(a | b) == (~a & ~b)

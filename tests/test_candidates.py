@@ -1,0 +1,194 @@
+"""Tests for candidate view generation (Sections 5.2, 5.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    GraphQuery,
+    PathAggregationQuery,
+    apriori_candidates,
+    candidate_aggregate_paths,
+    closed_candidates,
+    filter_superseded,
+    interesting_nodes,
+    intersection_closure_candidates,
+)
+
+AB, BC, CD, DE, EF = ("A", "B"), ("B", "C"), ("C", "D"), ("D", "E"), ("E", "F")
+
+
+class TestIntersectionClosure:
+    def test_queries_themselves_are_candidates(self):
+        queries = [GraphQuery([AB, BC]), GraphQuery([CD, DE])]
+        cands = intersection_closure_candidates(queries)
+        assert frozenset([AB, BC]) in cands
+        assert frozenset([CD, DE]) in cands
+
+    def test_pairwise_intersections_included(self):
+        queries = [
+            GraphQuery([AB, BC, CD]),
+            GraphQuery([BC, CD, DE]),
+        ]
+        cands = intersection_closure_candidates(queries)
+        assert frozenset([BC, CD]) in cands
+
+    def test_single_element_intersections_excluded(self):
+        queries = [GraphQuery([AB, BC]), GraphQuery([BC, DE])]
+        cands = intersection_closure_candidates(queries)
+        # {BC} has one element — its bitmap already exists.
+        assert frozenset([BC]) not in cands
+
+    def test_superseded_views_removed(self):
+        # {AB} appears only inside {AB, BC} in every query, so any subset
+        # candidate is superseded by the bigger one.
+        queries = [GraphQuery([AB, BC, CD]), GraphQuery([AB, BC, DE])]
+        cands = intersection_closure_candidates(queries)
+        assert frozenset([AB, BC]) in cands
+        for cand in cands:
+            assert cand not in (frozenset([AB]),)
+
+    def test_higher_order_intersections(self):
+        # The intersection of intersections (footnote 1): three queries
+        # whose pairwise intersections differ but share a common core.
+        q1 = GraphQuery([AB, BC, CD, DE])
+        q2 = GraphQuery([AB, BC, CD, EF])
+        q3 = GraphQuery([AB, BC, DE, EF])
+        cands = intersection_closure_candidates([q1, q2, q3])
+        assert frozenset([AB, BC]) in cands  # q1∩q3, also (q1∩q2)∩q3
+
+    def test_min_support_filters(self):
+        queries = [GraphQuery([AB, BC]), GraphQuery([CD, DE])]
+        cands = intersection_closure_candidates(queries, min_support=2)
+        assert cands == []
+
+    def test_invalid_min_support(self):
+        with pytest.raises(ValueError):
+            intersection_closure_candidates([GraphQuery([AB, BC])], min_support=0)
+
+
+class TestApriori:
+    def test_matches_closure_on_overlapping_workload(self):
+        queries = [
+            GraphQuery([AB, BC, CD]),
+            GraphQuery([BC, CD, DE]),
+            GraphQuery([AB, BC, DE]),
+        ]
+        apriori = set(apriori_candidates(queries, min_support=2))
+        closure = set(intersection_closure_candidates(queries, min_support=2))
+        assert apriori == closure
+
+    def test_min_support_respected(self):
+        queries = [GraphQuery([AB, BC]), GraphQuery([AB, BC]), GraphQuery([CD, DE])]
+        cands = apriori_candidates(queries, min_support=2)
+        assert frozenset([AB, BC]) in cands
+        assert frozenset([CD, DE]) not in cands
+
+    def test_max_size_bounds_growth(self):
+        q = GraphQuery([AB, BC, CD, DE])
+        cands = apriori_candidates([q, q], min_support=2, max_size=2)
+        assert all(len(c) <= 2 for c in cands)
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            apriori_candidates([GraphQuery([AB])], min_support=0)
+
+
+class TestClosedCandidates:
+    def test_equals_apriori_post_filter(self):
+        queries = [
+            GraphQuery([AB, BC, CD]),
+            GraphQuery([BC, CD, DE]),
+            GraphQuery([AB, BC, CD, DE]),
+        ]
+        closed = set(closed_candidates(queries, min_support=1))
+        apriori = set(apriori_candidates(queries, min_support=1))
+        assert closed == apriori
+
+    def test_closedness(self):
+        # Every candidate must be closed: no strict superset candidate has
+        # the same supporting query set.
+        queries = [
+            GraphQuery([AB, BC, CD]),
+            GraphQuery([AB, BC]),
+            GraphQuery([BC, CD]),
+        ]
+        cands = closed_candidates(queries)
+
+        def support(elems):
+            return frozenset(
+                i for i, q in enumerate(queries) if elems <= q.elements
+            )
+
+        for cand in cands:
+            for other in cands:
+                if cand < other:
+                    assert support(cand) != support(other)
+
+    def test_scales_with_many_shared_edges(self):
+        # 40 queries all sharing a 30-edge core: naive enumeration is 2^30;
+        # closed candidates stay tiny.
+        core = [(i, i + 1) for i in range(30)]
+        queries = [GraphQuery(core + [(100 + i, 200 + i)]) for i in range(40)]
+        cands = closed_candidates(queries)
+        assert len(cands) <= 41
+        assert frozenset(core) in cands
+
+
+class TestFilterSuperseded:
+    def test_removes_dominated(self):
+        queries = [GraphQuery([AB, BC, CD])]
+        cands = [frozenset([AB, BC]), frozenset([AB, BC, CD])]
+        kept = filter_superseded(cands, queries)
+        assert kept == [frozenset([AB, BC, CD])]
+
+    def test_keeps_incomparable(self):
+        queries = [GraphQuery([AB, BC]), GraphQuery([CD, DE])]
+        cands = [frozenset([AB, BC]), frozenset([CD, DE])]
+        assert set(filter_superseded(cands, queries)) == set(cands)
+
+
+class TestInterestingNodes:
+    def _figure2_agg_queries(self, figure2_queries):
+        return [PathAggregationQuery(q, "sum") for q in figure2_queries]
+
+    def test_figure2_interesting_nodes(self, figure2_queries):
+        # The Section 5.4 worked example: interesting nodes A, B, E, G.
+        agg = self._figure2_agg_queries(figure2_queries)
+        assert interesting_nodes(agg) == {"A", "B", "E", "G"}
+
+    def test_figure2_candidate_paths(self, figure2_queries):
+        # ... and exactly the 5 candidate paths the paper lists.
+        agg = self._figure2_agg_queries(figure2_queries)
+        paths = candidate_aggregate_paths(agg)
+        got = {p.nodes for p in paths}
+        assert got == {
+            ("A", "C", "E"),
+            ("A", "D", "E"),
+            ("A", "C", "E", "F", "G"),
+            ("A", "D", "E", "F", "G"),
+            ("E", "F", "G"),
+        }
+
+    def test_single_chain(self):
+        q = PathAggregationQuery(GraphQuery.from_node_chain("A", "B", "C"), "sum")
+        assert interesting_nodes([q]) == {"A", "C"}
+        paths = candidate_aggregate_paths([q])
+        assert {p.nodes for p in paths} == {("A", "B", "C")}
+
+    def test_branch_nodes_are_interesting(self):
+        q = PathAggregationQuery(
+            GraphQuery([AB, BC, ("B", "X"), ("X", "C")]), "sum"
+        )
+        nodes = interesting_nodes([q])
+        assert "B" in nodes and "C" in nodes
+
+    def test_length_one_paths_excluded(self):
+        q = PathAggregationQuery(GraphQuery.from_node_chain("A", "B"), "sum")
+        assert candidate_aggregate_paths([q]) == []
+
+    def test_max_length_bounds_enumeration(self):
+        chain = GraphQuery.from_node_chain(*"ABCDEFGH")
+        q = PathAggregationQuery(chain, "sum")
+        paths = candidate_aggregate_paths([q], max_length=3)
+        assert all(len(p) <= 3 for p in paths)

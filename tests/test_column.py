@@ -1,0 +1,136 @@
+"""Tests for NULL-able measure columns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnstore import Bitmap, MeasureColumn, MeasureColumnBuilder
+
+
+class TestConstruction:
+    def test_from_optionals(self):
+        col = MeasureColumn.from_optionals([1.0, None, 3.5])
+        assert len(col) == 3
+        assert col[0] == 1.0
+        assert col[1] is None
+        assert col[2] == 3.5
+
+    def test_nulls(self):
+        col = MeasureColumn.nulls(5)
+        assert col.non_null_count() == 0
+        assert all(col[i] is None for i in range(5))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MeasureColumn(np.zeros(3), Bitmap.zeros(4))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            MeasureColumn(np.zeros((2, 2)), Bitmap.zeros(4))
+
+
+class TestAccess:
+    def test_validity_is_presence_bitmap(self):
+        col = MeasureColumn.from_optionals([1.0, None, 2.0])
+        assert col.validity.to_indices().tolist() == [0, 2]
+
+    def test_values_nan_for_null(self):
+        col = MeasureColumn.from_optionals([None, 2.0])
+        values = col.values()
+        assert np.isnan(values[0]) and values[1] == 2.0
+
+    def test_values_readonly(self):
+        col = MeasureColumn.from_optionals([1.0])
+        with pytest.raises(ValueError):
+            col.values()[0] = 9.0
+
+    def test_take(self):
+        col = MeasureColumn.from_optionals([1.0, None, 3.0, 4.0])
+        taken = col.take(np.array([0, 2]))
+        assert taken.tolist() == [1.0, 3.0]
+
+    def test_take_null_positions_give_nan(self):
+        col = MeasureColumn.from_optionals([1.0, None])
+        assert np.isnan(col.take(np.array([1]))[0])
+
+    def test_equality_ignores_nan_payload(self):
+        a = MeasureColumn(np.array([1.0, np.nan]), Bitmap.from_bools([True, False]))
+        b = MeasureColumn(np.array([1.0, 777.0]), Bitmap.from_bools([True, False]))
+        assert a == b
+
+    def test_inequality_on_values(self):
+        a = MeasureColumn.from_optionals([1.0, 2.0])
+        b = MeasureColumn.from_optionals([1.0, 3.0])
+        assert a != b
+
+
+class TestFootprint:
+    def test_sparse_nbytes_counts_non_null_only(self):
+        col = MeasureColumn.from_optionals([1.0] * 10 + [None] * 90)
+        assert col.nbytes() == 8 * 10 + col.validity.nbytes()
+
+    def test_dense_nbytes_counts_every_row(self):
+        col = MeasureColumn.from_optionals([1.0] * 10 + [None] * 90)
+        assert col.nbytes_dense() == 8 * 100 + col.validity.nbytes()
+
+    def test_dense_independent_of_density(self):
+        sparse = MeasureColumn.from_optionals([None] * 100)
+        dense = MeasureColumn.from_optionals([1.0] * 100)
+        assert sparse.nbytes_dense() == dense.nbytes_dense()
+
+
+class TestBuilder:
+    def test_builds_in_order(self):
+        builder = MeasureColumnBuilder()
+        builder.append(1.0)
+        builder.append(None)
+        builder.append(2.0)
+        col = builder.build()
+        assert [col[i] for i in range(3)] == [1.0, None, 2.0]
+
+    def test_pad_to(self):
+        builder = MeasureColumnBuilder()
+        builder.append(5.0)
+        builder.pad_to(4)
+        col = builder.build()
+        assert len(col) == 4
+        assert col.non_null_count() == 1
+
+    def test_pad_shorter_rejected(self):
+        builder = MeasureColumnBuilder()
+        builder.append(1.0)
+        builder.append(2.0)
+        with pytest.raises(ValueError):
+            builder.pad_to(1)
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=False)),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_optionals(self, cells):
+        col = MeasureColumn.from_optionals(cells)
+        assert len(col) == len(cells)
+        for i, cell in enumerate(cells):
+            if cell is None:
+                assert col[i] is None
+            else:
+                assert col[i] == pytest.approx(float(cell))
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=False)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_non_null_count_matches(self, cells):
+        col = MeasureColumn.from_optionals(cells)
+        assert col.non_null_count() == sum(1 for c in cells if c is not None)

@@ -1,0 +1,48 @@
+"""Smoke tests for the example scripts (the fast ones run end to end)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 120) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestQuickstart:
+    def test_runs_and_reproduces_table1(self):
+        out = run_example("quickstart.py")
+        # Table 1's r2 row: m2..m7 = 1 2 2 1 4 1, bitmaps 0 1 1 1 1 1 1.
+        assert "r2  NULL     1     2   2   1     4     1   0   1   1   1   1   1   1" in out
+        # The §3.4 example: SUM over (A,C,E,F) on record 2 is 7.
+        assert "record r2, path [A,C,E,F]: 7" in out
+        # The §5.1.3 aggregate view: mp1 = (NULL, 5, 4).
+        assert "['NULL', '5', '4']" in out
+
+    def test_view_rewrite_shown(self):
+        out = run_example("quickstart.py")
+        assert "WHERE bp_av1 = 1" in out
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["scm_delivery.py", "view_advisor.py", "adaptive_dashboard.py"],
+)
+class TestHeavierExamples:
+    def test_exits_cleanly(self, script):
+        out = run_example(script, timeout=300)
+        assert out.strip()
+        assert "error" not in out.lower() or "0 error" in out.lower()

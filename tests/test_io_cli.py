@@ -1,0 +1,134 @@
+"""Tests for record interchange formats and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core import GraphRecord
+from repro.io import (
+    read_csv_triplets,
+    read_jsonl,
+    write_csv_triplets,
+    write_jsonl,
+)
+
+RECORDS = [
+    GraphRecord("r1", {("A", "B"): 1.5, ("B", "B"): 2.0}, metadata={"kind": "fast"}),
+    GraphRecord("r2", {("B", "C"): 3.25}),
+]
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        assert write_jsonl(RECORDS, path) == 2
+        back = list(read_jsonl(path))
+        assert back == RECORDS
+        assert back[0].metadata == {"kind": "fast"}
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        write_jsonl(RECORDS, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(list(read_jsonl(path))) == 2
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": "r1", "measures": [["A","B",1]]}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            list(read_jsonl(path))
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"measures": []}\n')
+        with pytest.raises(ValueError, match="missing field"):
+            list(read_jsonl(path))
+
+    def test_malformed_measure(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": "r", "measures": [["A","B"]]}\n')
+        with pytest.raises(ValueError, match="u, v, value"):
+            list(read_jsonl(path))
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "records.csv"
+        assert write_csv_triplets(RECORDS, path) == 2
+        back = list(read_csv_triplets(path))
+        assert [r.record_id for r in back] == ["r1", "r2"]
+        assert back[0].measure(("A", "B")) == 1.5
+        assert back[0].measure(("B", "B")) == 2.0
+
+    def test_no_header(self, tmp_path):
+        path = tmp_path / "records.csv"
+        write_csv_triplets(RECORDS, path, header=False)
+        back = list(read_csv_triplets(path))
+        assert len(back) == 2
+
+    def test_wrong_column_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("r1,A,B\n")
+        with pytest.raises(ValueError, match="4 columns"):
+            list(read_csv_triplets(path))
+
+
+class TestCli:
+    def _database(self, tmp_path):
+        source = tmp_path / "records.jsonl"
+        write_jsonl(RECORDS, source)
+        db = tmp_path / "db"
+        assert main(["load", str(source), str(db)]) == 0
+        return db
+
+    def test_load_and_stats(self, tmp_path, capsys):
+        db = self._database(tmp_path)
+        capsys.readouterr()
+        assert main(["stats", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "records:            2" in out
+        assert "element columns:    3" in out
+
+    def test_query(self, tmp_path, capsys):
+        db = self._database(tmp_path)
+        capsys.readouterr()
+        assert main(["query", str(db), "{(A,B)}"]) == 0
+        out = capsys.readouterr().out
+        assert "1 matching records" in out
+        assert "r1" in out
+
+    def test_query_ids_only(self, tmp_path, capsys):
+        db = self._database(tmp_path)
+        capsys.readouterr()
+        assert main(["query", str(db), "{(B,C)}", "--ids-only"]) == 0
+        assert "r2" in capsys.readouterr().out
+
+    def test_aggregate(self, tmp_path, capsys):
+        db = self._database(tmp_path)
+        capsys.readouterr()
+        assert main(["aggregate", str(db), "SUM {(A,B), (B,B)}"]) == 0
+        out = capsys.readouterr().out
+        assert "r1: 3.5" in out
+
+    def test_csv_load(self, tmp_path, capsys):
+        source = tmp_path / "records.csv"
+        write_csv_triplets(RECORDS, source)
+        db = tmp_path / "db"
+        assert main(["load", str(source), str(db)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(db), "{(A,B)}", "--ids-only"]) == 0
+        assert "r1" in capsys.readouterr().out
+
+    def test_bad_query_is_error_not_traceback(self, tmp_path, capsys):
+        db = self._database(tmp_path)
+        assert main(["query", str(db), "A ->"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_database(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope")]) == 2
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--records", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "demo corpus: 50 records" in out

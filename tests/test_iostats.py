@@ -1,0 +1,69 @@
+"""Tests for the cost-model accounting (IOStats)."""
+
+from __future__ import annotations
+
+from repro.columnstore import IOStats, IOStatsCollector
+
+
+class TestIOStats:
+    def test_defaults_zero(self):
+        stats = IOStats()
+        assert stats.total_columns_fetched() == 0
+        assert stats.structural_columns_fetched() == 0
+        assert stats.measure_fetch_columns() == 0
+
+    def test_total_sums_all_column_kinds(self):
+        stats = IOStats(
+            bitmap_columns_fetched=2,
+            measure_columns_fetched=3,
+            view_bitmaps_fetched=4,
+            view_measure_columns_fetched=5,
+        )
+        assert stats.total_columns_fetched() == 14
+
+    def test_structural_is_bitmaps_plus_view_bitmaps(self):
+        stats = IOStats(bitmap_columns_fetched=2, view_bitmaps_fetched=4)
+        assert stats.structural_columns_fetched() == 6
+
+    def test_measure_side(self):
+        stats = IOStats(measure_columns_fetched=3, view_measure_columns_fetched=5)
+        assert stats.measure_fetch_columns() == 8
+
+    def test_add_accumulates(self):
+        a = IOStats(bitmap_columns_fetched=1, measure_values_fetched=10)
+        b = IOStats(bitmap_columns_fetched=2, measure_values_fetched=5,
+                    partitions_joined=3)
+        a.add(b)
+        assert a.bitmap_columns_fetched == 3
+        assert a.measure_values_fetched == 15
+        assert a.partitions_joined == 3
+
+
+class TestCollector:
+    def test_record_bitmap_fetch_kinds(self):
+        collector = IOStatsCollector()
+        collector.record_bitmap_fetch()
+        collector.record_bitmap_fetch(is_view=True)
+        assert collector.stats.bitmap_columns_fetched == 1
+        assert collector.stats.view_bitmaps_fetched == 1
+
+    def test_record_measure_fetch_counts_values(self):
+        collector = IOStatsCollector()
+        collector.record_measure_fetch(7)
+        collector.record_measure_fetch(3, is_view=True)
+        assert collector.stats.measure_columns_fetched == 1
+        assert collector.stats.view_measure_columns_fetched == 1
+        assert collector.stats.measure_values_fetched == 10
+
+    def test_partition_join_single_partition_free(self):
+        collector = IOStatsCollector()
+        collector.record_partition_join(1)
+        assert collector.stats.partitions_joined == 0
+        collector.record_partition_join(4)
+        assert collector.stats.partitions_joined == 4
+
+    def test_reset(self):
+        collector = IOStatsCollector()
+        collector.record_bitmap_fetch()
+        collector.reset()
+        assert collector.stats.total_columns_fetched() == 0

@@ -1,0 +1,216 @@
+"""Tests for the path algebra: openness, path-join, composite paths."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Path, PathJoinError, enumerate_paths, maximal_paths
+from repro.core.paths import source_nodes, terminal_nodes
+
+
+class TestConstruction:
+    def test_closed(self):
+        path = Path.closed("A", "D", "E")
+        assert path.nodes == ("A", "D", "E")
+        assert not path.open_start and not path.open_end
+        assert len(path) == 2
+
+    def test_open(self):
+        path = Path.open("D", "E", "G")
+        assert path.open_start and path.open_end
+
+    def test_half_open(self):
+        assert Path.half_open_right("D", "E", "G").open_end
+        assert Path.half_open_left("D", "E", "G").open_start
+
+    def test_single_node_normalizes(self):
+        path = Path.node("A")
+        assert path.nodes == ("A", "A")
+        assert path.is_single_node()
+        assert len(path) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Path(())
+
+    def test_repeated_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Path(("A", "B", "A"))
+
+    def test_repr_notation(self):
+        assert repr(Path.closed("A", "B")) == "[A,B]"
+        assert repr(Path.open("A", "B")) == "(A,B)"
+        assert repr(Path.half_open_right("D", "E", "G")) == "[D,E,G)"
+
+    def test_hash_and_eq(self):
+        assert Path.closed("A", "B") == Path.closed("A", "B")
+        assert Path.closed("A", "B") != Path.open("A", "B")
+        assert hash(Path.closed("A", "B")) == hash(Path.closed("A", "B"))
+
+
+class TestElements:
+    def test_edges(self):
+        assert Path.closed("A", "D", "E").edges() == (("A", "D"), ("D", "E"))
+
+    def test_single_node_has_no_edges(self):
+        assert Path.node("A").edges() == ()
+
+    def test_included_nodes_closed(self):
+        assert Path.closed("A", "D", "E").included_nodes() == ("A", "D", "E")
+
+    def test_included_nodes_open(self):
+        assert Path.open("D", "E", "G").included_nodes() == ("E",)
+
+    def test_included_nodes_half_open(self):
+        assert Path.half_open_right("D", "E", "G").included_nodes() == ("D", "E")
+
+    def test_elements_with_measured_nodes(self):
+        path = Path.closed("A", "D", "E")
+        elements = path.elements(measured_nodes={"D"})
+        assert elements == (("A", "D"), ("D", "D"), ("D", "E"))
+
+    def test_elements_exclude_open_endpoint(self):
+        path = Path.half_open_right("D", "E")
+        # D is included, E excluded.
+        assert path.elements(measured_nodes={"D", "E"}) == (("D", "D"), ("D", "E"))
+
+    def test_single_node_element(self):
+        assert Path.node("A").elements(measured_nodes={"A"}) == (("A", "A"),)
+        assert Path.node("A").elements(measured_nodes=set()) == ()
+
+    def test_contains_subpath(self):
+        big = Path.closed("A", "C", "E", "F", "G")
+        assert big.contains_subpath(Path.closed("E", "F", "G"))
+        assert big.contains_subpath(Path.closed("A", "C"))
+        assert not big.contains_subpath(Path.closed("A", "E"))
+        assert big.contains_subpath(Path.node("F"))
+
+
+class TestPathJoin:
+    def test_paper_example(self):
+        # [A,B,F) ⋈ [F,J,K] = [A,B,F,J,K]
+        left = Path.half_open_right("A", "B", "F")
+        right = Path.closed("F", "J", "K")
+        joined = left.join(right)
+        assert joined.nodes == ("A", "B", "F", "J", "K")
+        assert not joined.open_start and not joined.open_end
+
+    def test_paper_counterexample(self):
+        # [A,D,E] does not join with [E,G,I]: E would be counted twice.
+        with pytest.raises(PathJoinError):
+            Path.closed("A", "D", "E").join(Path.closed("E", "G", "I"))
+
+    def test_no_join_on_mismatched_nodes(self):
+        assert not Path.closed("A", "B").can_join(Path.closed("C", "D"))
+
+    def test_both_open_at_common_point_invalid(self):
+        # (A,B) ⋈ (B,C): B's measure would be dropped entirely — the result
+        # is not representable as a path, so the join is undefined.
+        left = Path.half_open_right("A", "B")
+        right = Path.half_open_left("B", "C")
+        # left open at end XOR right open at start is False (both open).
+        assert not left.can_join(right)
+
+    def test_matmul_operator(self):
+        joined = Path.half_open_right("A", "B") @ Path.closed("B", "C")
+        assert joined.nodes == ("A", "B", "C")
+
+    def test_join_preserves_outer_openness(self):
+        left = Path.half_open_left("A", "B")  # open start
+        left = Path(left.nodes, open_start=True, open_end=True)
+        right = Path.closed("B", "C")
+        joined = left.join(right)
+        assert joined.open_start and not joined.open_end
+
+    def test_join_rejects_non_simple_result(self):
+        left = Path.half_open_right("A", "B", "C")
+        right = Path.closed("C", "A")  # would revisit A
+        assert not left.can_join(right)
+
+    def test_single_node_join(self):
+        # [A,A] ⋈ (A,B] = [A,B] with A's measure counted by the left part.
+        node = Path.node("A")
+        right = Path.half_open_left("A", "B")
+        joined = node.join(right)
+        assert joined.nodes == ("A", "B")
+        assert not joined.open_start
+
+    def test_join_composites(self):
+        lefts = [Path.half_open_right("A", "B"), Path.half_open_right("A", "C")]
+        rights = [Path.closed("B", "D"), Path.closed("C", "D")]
+        joined = Path.join_composites(lefts, rights)
+        assert {p.nodes for p in joined} == {("A", "B", "D"), ("A", "C", "D")}
+
+
+class TestGraphPathUtilities:
+    DIAMOND = [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")]
+
+    def test_source_terminal_nodes(self):
+        assert source_nodes(self.DIAMOND) == {"A"}
+        assert terminal_nodes(self.DIAMOND) == {"D"}
+
+    def test_enumerate_paths_diamond(self):
+        paths = enumerate_paths(self.DIAMOND, ["A"], ["D"])
+        assert {p.nodes for p in paths} == {("A", "B", "D"), ("A", "C", "D")}
+
+    def test_enumerate_paths_single_node_when_source_is_target(self):
+        paths = enumerate_paths([("A", "B")], ["A"], ["A", "B"])
+        node_paths = [p for p in paths if p.is_single_node()]
+        assert len(node_paths) == 1 and node_paths[0].start == "A"
+
+    def test_enumerate_paths_max_length(self):
+        chain = [("A", "B"), ("B", "C"), ("C", "D")]
+        paths = enumerate_paths(chain, ["A"], ["D"], max_length=2)
+        assert paths == []
+        paths = enumerate_paths(chain, ["A"], ["D"], max_length=3)
+        assert len(paths) == 1
+
+    def test_enumerate_paths_openness_flags(self):
+        paths = enumerate_paths([("A", "B")], ["A"], ["B"], open_start=True)
+        assert paths[0].open_start
+
+    def test_maximal_paths_chain(self):
+        chain = [("A", "B"), ("B", "C")]
+        paths = maximal_paths(chain)
+        assert [p.nodes for p in paths] == [("A", "B", "C")]
+
+    def test_maximal_paths_diamond(self):
+        paths = maximal_paths(self.DIAMOND)
+        assert {p.nodes for p in paths} == {("A", "B", "D"), ("A", "C", "D")}
+
+    def test_maximal_paths_drop_contained(self):
+        # A->B->C plus a stub B->D: maximal paths are A,B,C and A,B,D.
+        edges = [("A", "B"), ("B", "C"), ("B", "D")]
+        paths = maximal_paths(edges)
+        assert {p.nodes for p in paths} == {("A", "B", "C"), ("A", "B", "D")}
+
+    def test_maximal_paths_pure_nodes(self):
+        paths = maximal_paths([("A", "A"), ("B", "B")])
+        assert {p.start for p in paths} == {"A", "B"}
+        assert all(p.is_single_node() for p in paths)
+
+    def test_maximal_paths_cycle_fallback(self):
+        # A pure cycle has no sources/terminals; decomposition still works.
+        cycle = [("A", "B"), ("B", "A")]
+        paths = maximal_paths(cycle)
+        assert paths  # non-empty cover
+
+    @given(st.lists(st.sampled_from("ABCDEFG"), min_size=2, max_size=7, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_chain_has_single_maximal_path(self, nodes):
+        edges = list(zip(nodes, nodes[1:]))
+        paths = maximal_paths(edges)
+        assert len(paths) == 1
+        assert paths[0].nodes == tuple(nodes)
+
+    @given(st.lists(st.sampled_from("ABCDEF"), min_size=3, max_size=6, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_path_join_reassembles_split_chain(self, nodes):
+        """Splitting a chain anywhere and path-joining reproduces it."""
+        for cut in range(1, len(nodes) - 1):
+            left = Path(tuple(nodes[: cut + 1]), open_end=True)
+            right = Path(tuple(nodes[cut:]))
+            joined = left.join(right)
+            assert joined.nodes == tuple(nodes)

@@ -1,0 +1,121 @@
+"""Tests for relation persistence and the SQL renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnstore import (
+    Bitmap,
+    MasterRelation,
+    MeasureColumn,
+    load_relation,
+    relation_disk_usage,
+    save_relation,
+)
+from repro.core import (
+    GraphAnalyticsEngine,
+    GraphQuery,
+    GraphRecord,
+    PathAggregationQuery,
+    render_aggregation,
+    render_graph_query,
+)
+
+
+@pytest.fixture
+def relation():
+    rel = MasterRelation(partition_width=2)
+    rel.append_row({0: 1.0, 1: 2.0})
+    rel.append_row({1: 3.0, 2: 4.0})
+    rel.add_graph_view("gv1", Bitmap.from_indices(2, [0]))
+    rel.add_aggregate_view("av1:sum", MeasureColumn.from_optionals([5.0, None]))
+    return rel
+
+
+class TestPersistence:
+    def test_roundtrip_columns(self, relation, tmp_path):
+        save_relation(relation, tmp_path / "db")
+        loaded = load_relation(tmp_path / "db")
+        assert loaded.n_records == 2
+        assert loaded.partition_width == 2
+        for edge_id in (0, 1, 2):
+            assert loaded.bitmap(edge_id) == relation.bitmap(edge_id)
+            a = relation.measures(edge_id)
+            b = loaded.measures(edge_id)
+            assert np.array_equal(np.nan_to_num(a), np.nan_to_num(b))
+
+    def test_roundtrip_views(self, relation, tmp_path):
+        save_relation(relation, tmp_path / "db")
+        loaded = load_relation(tmp_path / "db")
+        assert loaded.view_bitmap("gv1") == relation.view_bitmap("gv1")
+        assert loaded.aggregate_view_measures("av1:sum")[0] == 5.0
+        assert np.isnan(loaded.aggregate_view_measures("av1:sum")[1])
+
+    def test_disk_usage_positive(self, relation, tmp_path):
+        save_relation(relation, tmp_path / "db")
+        assert relation_disk_usage(tmp_path / "db") > 0
+
+    def test_disk_usage_grows_with_data(self, tmp_path):
+        small = MasterRelation()
+        small.append_row({0: 1.0})
+        save_relation(small, tmp_path / "small")
+        big = MasterRelation()
+        for i in range(200):
+            big.append_row({j: float(j) for j in range(10)})
+        save_relation(big, tmp_path / "big")
+        assert relation_disk_usage(tmp_path / "big") > relation_disk_usage(
+            tmp_path / "small"
+        )
+
+
+class TestSqlGeneration:
+    @pytest.fixture
+    def engine(self):
+        e = GraphAnalyticsEngine()
+        e.load_records(
+            [
+                GraphRecord("r1", {("A", "B"): 1.0, ("B", "C"): 2.0, ("C", "D"): 3.0}),
+            ]
+        )
+        return e
+
+    def test_plain_query_sql(self, engine):
+        plan = engine.plan_query(GraphQuery.from_node_chain("A", "B", "C"))
+        sql = render_graph_query(plan, engine.catalog)
+        assert sql.startswith("SELECT recid, m0, m1")
+        assert "WHERE b0 = 1 AND b1 = 1" in sql
+        assert "JOIN" not in sql  # the paper's no-join selling point
+
+    def test_view_rewritten_sql(self, engine):
+        q = GraphQuery.from_node_chain("A", "B", "C")
+        engine.materialize_graph_views([q], budget=1)
+        plan = engine.plan_query(q)
+        sql = render_graph_query(plan, engine.catalog)
+        assert "gv1 = 1" in sql
+        assert "b0" not in sql.split("WHERE")[1]
+
+    def test_aggregation_sql_sum_uses_plus(self, engine):
+        q = PathAggregationQuery(GraphQuery.from_node_chain("A", "B", "C"), "sum")
+        plan = engine.plan_aggregation(q)
+        sql = render_aggregation(plan, engine.catalog)
+        assert "m0 + m1 AS path0_sum" in sql
+
+    def test_aggregation_sql_with_view(self, engine):
+        q = PathAggregationQuery(GraphQuery.from_node_chain("A", "B", "C"), "sum")
+        engine.materialize_aggregate_views([q], budget=1)
+        plan = engine.plan_aggregation(q)
+        sql = render_aggregation(plan, engine.catalog)
+        assert "mp_av" in sql
+        assert "bp_av" in sql
+
+    def test_aggregation_sql_non_sum_uses_function(self, engine):
+        q = PathAggregationQuery(GraphQuery.from_node_chain("A", "B", "C"), "max")
+        plan = engine.plan_aggregation(q)
+        sql = render_aggregation(plan, engine.catalog)
+        assert "MAX(m0, m1)" in sql
+
+    def test_unknown_edge_rendered_with_placeholder(self, engine):
+        plan = engine.plan_query(GraphQuery([("Z", "Q")]))
+        sql = render_graph_query(plan, engine.catalog)
+        assert "b?" in sql

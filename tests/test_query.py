@@ -1,0 +1,149 @@
+"""Tests for graph queries and boolean combinators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import And, AndNot, GraphQuery, Or, Path, PathAggregationQuery
+from repro.core.record import GraphRecord
+
+
+class TestConstruction:
+    def test_from_elements(self):
+        q = GraphQuery([("A", "B"), ("B", "C")])
+        assert len(q) == 2
+        assert ("A", "B") in q
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GraphQuery([])
+
+    def test_bad_element_rejected(self):
+        with pytest.raises(TypeError):
+            GraphQuery(["AB"])
+
+    def test_from_node_chain(self):
+        q = GraphQuery.from_node_chain("A", "D", "E", "G", "I")
+        assert q.elements == {("A", "D"), ("D", "E"), ("E", "G"), ("G", "I")}
+
+    def test_from_node_chain_too_short(self):
+        with pytest.raises(ValueError):
+            GraphQuery.from_node_chain("A")
+
+    def test_from_path_with_measured_nodes(self):
+        q = GraphQuery.from_path(Path.closed("A", "B"), measured_nodes={"A"})
+        assert q.elements == {("A", "A"), ("A", "B")}
+
+    def test_from_record(self):
+        record = GraphRecord("r", {("A", "B"): 1.0, ("B", "B"): 2.0})
+        q = GraphQuery.from_record(record)
+        assert q.elements == record.elements()
+
+    def test_equality_and_hash(self):
+        a = GraphQuery([("A", "B")])
+        b = GraphQuery([("A", "B")])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestStructure:
+    def test_nodes_edges_measured(self):
+        q = GraphQuery([("A", "B"), ("B", "B")])
+        assert q.nodes() == {"A", "B"}
+        assert q.edges() == {("A", "B")}
+        assert q.measured_nodes() == {"B"}
+
+    def test_sources_terminals(self):
+        q = GraphQuery.from_node_chain("A", "B", "C")
+        assert q.sources() == {"A"}
+        assert q.terminals() == {"C"}
+
+    def test_maximal_paths(self):
+        q = GraphQuery([("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")])
+        assert {p.nodes for p in q.maximal_paths()} == {
+            ("A", "B", "D"),
+            ("A", "C", "D"),
+        }
+
+    def test_matches_record(self):
+        q = GraphQuery([("A", "B")])
+        assert q.matches(GraphRecord("r", {("A", "B"): 1.0, ("B", "C"): 2.0}))
+        assert not q.matches(GraphRecord("r", {("B", "C"): 2.0}))
+
+    def test_intersect(self):
+        a = GraphQuery([("A", "B"), ("B", "C")])
+        b = GraphQuery([("B", "C"), ("C", "D")])
+        assert a.intersect(b).elements == {("B", "C")}
+
+    def test_intersect_empty_returns_none(self):
+        a = GraphQuery([("A", "B")])
+        b = GraphQuery([("C", "D")])
+        assert a.intersect(b) is None
+
+    def test_union_and_subquery(self):
+        a = GraphQuery([("A", "B")])
+        b = GraphQuery([("B", "C")])
+        u = a.union(b)
+        assert a.is_subquery_of(u) and b.is_subquery_of(u)
+        assert not u.is_subquery_of(a)
+
+
+class TestExpressions:
+    def test_operators_build_tree(self):
+        a = GraphQuery([("A", "B")])
+        b = GraphQuery([("B", "C")])
+        c = GraphQuery([("C", "D")])
+        expr = (a & b) | c
+        assert isinstance(expr, Or)
+        assert isinstance(expr.left, And)
+
+    def test_sub_builds_andnot(self):
+        a = GraphQuery([("A", "B")])
+        b = GraphQuery([("B", "C")])
+        assert isinstance(a - b, AndNot)
+
+    def test_atoms_left_to_right(self):
+        a = GraphQuery([("A", "B")])
+        b = GraphQuery([("B", "C")])
+        c = GraphQuery([("C", "D")])
+        assert ((a & b) - c).atoms() == [a, b, c]
+
+    def test_expression_equality(self):
+        a = GraphQuery([("A", "B")])
+        b = GraphQuery([("B", "C")])
+        assert (a & b) == (a & b)
+        assert (a & b) != (b & a)
+        assert (a & b) != (a | b)
+
+    def test_invalid_operand(self):
+        with pytest.raises(TypeError):
+            And(GraphQuery([("A", "B")]), "not a query")
+
+    def test_repr_symbols(self):
+        a = GraphQuery([("A", "B")])
+        b = GraphQuery([("B", "C")])
+        assert "AND NOT" in repr(a - b)
+        assert "OR" in repr(a | b)
+
+
+class TestPathAggregationQuery:
+    def test_construction(self):
+        q = PathAggregationQuery(GraphQuery.from_node_chain("A", "B"), "SUM")
+        assert q.function == "sum"
+
+    def test_requires_atomic_query(self):
+        a = GraphQuery([("A", "B")])
+        with pytest.raises(TypeError):
+            PathAggregationQuery(a & a, "sum")
+
+    def test_equality(self):
+        g = GraphQuery.from_node_chain("A", "B")
+        assert PathAggregationQuery(g, "sum") == PathAggregationQuery(g, "sum")
+        assert PathAggregationQuery(g, "sum") != PathAggregationQuery(g, "max")
+
+    def test_maximal_paths_delegates(self):
+        q = PathAggregationQuery(GraphQuery.from_node_chain("A", "B", "C"), "sum")
+        assert [p.nodes for p in q.maximal_paths()] == [("A", "B", "C")]
+
+    def test_repr(self):
+        q = PathAggregationQuery(GraphQuery.from_node_chain("A", "B"), "max")
+        assert repr(q).startswith("MAX_")

@@ -1,0 +1,150 @@
+"""Tests for graph records and cycle flattening."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GraphRecord, flatten_walk
+from repro.core.record import occurrence_name
+
+
+class TestConstruction:
+    def test_basic(self):
+        record = GraphRecord("r1", {("A", "B"): 1.0, ("B", "B"): 2.0})
+        assert record.record_id == "r1"
+        assert len(record) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GraphRecord("r1", {})
+
+    def test_non_tuple_element_rejected(self):
+        with pytest.raises(TypeError):
+            GraphRecord("r1", {"AB": 1.0})
+
+    def test_metadata_stored(self):
+        record = GraphRecord("r1", {("A", "B"): 1.0}, metadata={"order": "fast"})
+        assert record.metadata["order"] == "fast"
+
+    def test_equality(self):
+        a = GraphRecord("r1", {("A", "B"): 1.0})
+        b = GraphRecord("r1", {("A", "B"): 1.0})
+        assert a == b
+        assert a != GraphRecord("r2", {("A", "B"): 1.0})
+
+
+class TestStructure:
+    def test_nodes_and_edges(self):
+        record = GraphRecord("r", {("A", "B"): 1.0, ("B", "C"): 2.0, ("B", "B"): 3.0})
+        assert record.nodes() == {"A", "B", "C"}
+        assert record.edges() == {("A", "B"), ("B", "C")}
+        assert record.measured_nodes() == {"B"}
+
+    def test_measure_access(self):
+        record = GraphRecord("r", {("A", "B"): 1.5})
+        assert record.measure(("A", "B")) == 1.5
+        assert record.get_measure(("X", "Y")) is None
+        with pytest.raises(KeyError):
+            record.measure(("X", "Y"))
+
+    def test_successors_predecessors(self):
+        record = GraphRecord("r", {("A", "B"): 1.0, ("A", "C"): 2.0, ("B", "B"): 1.0})
+        assert record.successors("A") == {"B", "C"}
+        assert record.predecessors("B") == {"A"}
+
+    def test_contains_subgraph(self):
+        record = GraphRecord("r", {("A", "B"): 1.0, ("B", "C"): 2.0})
+        assert record.contains_subgraph([("A", "B")])
+        assert record.contains_subgraph([("A", "B"), ("B", "C")])
+        assert not record.contains_subgraph([("A", "C")])
+
+    def test_sources_and_terminals(self):
+        record = GraphRecord("r", {("A", "B"): 1.0, ("B", "C"): 2.0})
+        assert record.source_nodes() == {"A"}
+        assert record.terminal_nodes() == {"C"}
+
+    def test_self_edges_do_not_affect_sources(self):
+        record = GraphRecord("r", {("A", "B"): 1.0, ("A", "A"): 5.0})
+        assert record.source_nodes() == {"A"}
+        assert record.terminal_nodes() == {"B"}
+
+
+class TestDag:
+    def test_path_is_dag(self):
+        record = GraphRecord("r", {("A", "B"): 1.0, ("B", "C"): 1.0})
+        assert record.is_dag()
+
+    def test_cycle_detected(self):
+        record = GraphRecord("r", {("A", "B"): 1.0, ("B", "A"): 1.0})
+        assert not record.is_dag()
+
+    def test_longer_cycle_detected(self):
+        record = GraphRecord(
+            "r", {("A", "B"): 1.0, ("B", "C"): 1.0, ("C", "A"): 1.0}
+        )
+        assert not record.is_dag()
+
+    def test_diamond_is_dag(self):
+        record = GraphRecord(
+            "r",
+            {("A", "B"): 1.0, ("A", "C"): 1.0, ("B", "D"): 1.0, ("C", "D"): 1.0},
+        )
+        assert record.is_dag()
+
+    def test_self_edge_not_a_cycle(self):
+        # Node measures are self-edges; they are not traversal cycles.
+        record = GraphRecord("r", {("A", "A"): 1.0, ("A", "B"): 1.0})
+        assert record.is_dag()
+
+
+class TestFlattening:
+    def test_paper_example(self):
+        # A product shipped A, B, C, A, D, E: the revisit of A becomes A'.
+        walk = flatten_walk(["A", "B", "C", "A", "D", "E"])
+        assert walk == ["A", "B", "C", "A'", "D", "E"]
+
+    def test_triple_visit(self):
+        assert flatten_walk(["A", "A", "A"]) == ["A", "A'", "A''"]
+
+    def test_occurrence_name(self):
+        assert occurrence_name("D", 0) == "D"
+        assert occurrence_name("D", 2) == "D''"
+
+    def test_from_walk_flattens_to_dag(self):
+        record = GraphRecord.from_walk(
+            "r", ["A", "B", "A", "C"], edge_measures=[1.0, 2.0, 3.0]
+        )
+        assert record.is_dag()
+        assert ("B", "A'") in record.elements()
+
+    def test_from_walk_without_flatten_keeps_cycle(self):
+        record = GraphRecord.from_walk(
+            "r", ["A", "B", "A", "C"], edge_measures=[1.0, 2.0, 3.0], flatten=False
+        )
+        assert not record.is_dag()
+
+    def test_from_walk_node_measures(self):
+        record = GraphRecord.from_walk(
+            "r", ["A", "B"], edge_measures=[1.0], node_measures=[0.5, 0.7]
+        )
+        assert record.measure(("A", "A")) == 0.5
+        assert record.measure(("B", "B")) == 0.7
+
+    def test_from_walk_wrong_measure_count(self):
+        with pytest.raises(ValueError):
+            GraphRecord.from_walk("r", ["A", "B", "C"], edge_measures=[1.0])
+
+    @given(st.lists(st.sampled_from("ABCDE"), min_size=2, max_size=12))
+    @settings(max_examples=80, deadline=None)
+    def test_flattened_walks_always_produce_dags(self, nodes):
+        record = GraphRecord.from_walk(
+            "r", nodes, edge_measures=[1.0] * (len(nodes) - 1)
+        )
+        assert record.is_dag()
+
+    @given(st.lists(st.sampled_from("ABC"), min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_flatten_walk_names_unique(self, nodes):
+        assert len(set(flatten_walk(nodes))) == len(nodes)

@@ -1,0 +1,170 @@
+"""Tests for regions (aggregate nodes) and node hierarchies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GraphAnalyticsEngine, GraphQuery, GraphRecord
+from repro.core.hierarchy import NodeHierarchy, rollup_record, rollup_records
+from repro.core.regions import Region, paths_through_region, queries_through_region
+
+# The Figure 1 SCM network (as drawn; see examples/scm_delivery.py).
+FIGURE1 = [
+    ("A", "D"), ("A", "B"), ("B", "F"), ("C", "B"), ("C", "H"),
+    ("D", "E"), ("E", "G"), ("F", "E"), ("F", "J"), ("G", "I"),
+    ("G", "K"), ("H", "K"), ("J", "K"),
+]
+REGION2_NODES = {"D", "E", "F", "G"}
+
+
+class TestRegion:
+    def test_construction_from_host(self):
+        region = Region("R2", REGION2_NODES, host_edges=FIGURE1)
+        assert region.elements == {("D", "E"), ("E", "G"), ("F", "E")}
+
+    def test_explicit_elements_validated(self):
+        with pytest.raises(ValueError):
+            Region("R", {"A"}, elements=[("A", "B")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Region("R", [])
+
+    def test_sources_terminals(self):
+        region = Region("R2", REGION2_NODES, host_edges=FIGURE1)
+        assert region.sources() == {"D", "F"}
+        assert region.terminals() == {"G"}
+
+    def test_isolated_nodes_are_both(self):
+        region = Region("R", {"X", "Y"}, elements=[("X", "Y")])
+        bigger = Region("R", {"X", "Y", "Z"}, elements=[("X", "Y")])
+        assert "Z" in bigger.sources() and "Z" in bigger.terminals()
+        assert region.sources() == {"X"}
+
+    def test_entry_exit_edges(self):
+        region = Region("R2", REGION2_NODES, host_edges=FIGURE1)
+        assert region.entry_edges(FIGURE1) == {("A", "D"), ("B", "F")}
+        assert region.exit_edges(FIGURE1) == {("F", "J"), ("G", "I"), ("G", "K")}
+
+    def test_internal_view_elements(self):
+        region = Region("R2", REGION2_NODES, host_edges=FIGURE1)
+        assert len(region.internal_view_elements()) == 3
+        with pytest.raises(ValueError):
+            Region("R", {"Q"}).internal_view_elements()
+
+
+class TestPathsThroughRegion:
+    def test_paper_example_excludes_chk(self):
+        """Section 3.3: the region-2 expression must not produce [C,H,K]."""
+        region = Region("R2", REGION2_NODES, host_edges=FIGURE1)
+        paths = paths_through_region(FIGURE1, region)
+        node_seqs = {p.nodes for p in paths}
+        assert ("C", "H", "K") not in node_seqs
+        assert all(any(n in REGION2_NODES for n in seq) for seq in node_seqs)
+
+    def test_all_paths_traverse_region_fully(self):
+        region = Region("R2", REGION2_NODES, host_edges=FIGURE1)
+        paths = paths_through_region(FIGURE1, region)
+        assert paths
+        for path in paths:
+            # Every produced path enters at a region source and leaves
+            # from a region terminal.
+            inside = [n for n in path.nodes if n in REGION2_NODES]
+            assert inside[0] in region.sources()
+            assert inside[-1] in region.terminals()
+
+    def test_expected_route_present(self):
+        region = Region("R2", REGION2_NODES, host_edges=FIGURE1)
+        node_seqs = {p.nodes for p in paths_through_region(FIGURE1, region)}
+        assert ("A", "D", "E", "G", "I") in node_seqs
+
+    def test_queries_through_region_match_records(self):
+        engine = GraphAnalyticsEngine()
+        engine.load_records(
+            [
+                GraphRecord("via-r2", {("A", "D"): 1.0, ("D", "E"): 2.0,
+                                       ("E", "G"): 3.0, ("G", "I"): 4.0}),
+                GraphRecord("avoid-r2", {("C", "H"): 1.0, ("H", "K"): 2.0}),
+            ]
+        )
+        region = Region("R2", REGION2_NODES, host_edges=FIGURE1)
+        queries = queries_through_region(FIGURE1, region)
+        matched = set()
+        for q in queries:
+            matched.update(engine.query(q, fetch_measures=False).record_ids)
+        assert matched == {"via-r2"}
+
+
+HIERARCHY = NodeHierarchy(
+    levels=["hub", "province", "country"],
+    parents=[
+        {"D": "P2", "E": "P2", "F": "P2", "G": "P2", "A": "P1", "B": "P1"},
+        {"P1": "GR", "P2": "GR"},
+    ],
+)
+
+
+class TestHierarchy:
+    def test_levels_validated(self):
+        with pytest.raises(ValueError):
+            NodeHierarchy(["only"], [])
+        with pytest.raises(ValueError):
+            NodeHierarchy(["a", "b"], [])
+
+    def test_ancestor_lookup(self):
+        assert HIERARCHY.ancestor("D", "hub") == "D"
+        assert HIERARCHY.ancestor("D", "province") == "P2"
+        assert HIERARCHY.ancestor("D", "country") == "GR"
+
+    def test_unmapped_node_is_own_ancestor(self):
+        assert HIERARCHY.ancestor("Z", "province") == "Z"
+
+    def test_unknown_level(self):
+        with pytest.raises(KeyError):
+            HIERARCHY.ancestor("D", "galaxy")
+
+    def test_members(self):
+        members = HIERARCHY.members("P2", "province", ["A", "D", "E", "Z"])
+        assert members == {"D", "E"}
+
+
+class TestRollup:
+    RECORD = GraphRecord(
+        "r",
+        {
+            ("A", "D"): 1.0,   # P1 -> P2
+            ("D", "E"): 2.0,   # internal to P2
+            ("E", "G"): 3.0,   # internal to P2
+            ("G", "I"): 4.0,   # P2 -> I
+        },
+    )
+
+    def test_rollup_merges_internal_edges_into_node(self):
+        rolled = rollup_record(self.RECORD, HIERARCHY, "province")
+        assert rolled.measure(("P2", "P2")) == 5.0  # 2 + 3 coalesced
+        assert rolled.measure(("P1", "P2")) == 1.0
+        assert rolled.measure(("P2", "I")) == 4.0
+
+    def test_rollup_with_max(self):
+        rolled = rollup_record(self.RECORD, HIERARCHY, "province", function="max")
+        assert rolled.measure(("P2", "P2")) == 3.0
+
+    def test_rollup_metadata_records_level(self):
+        rolled = rollup_record(self.RECORD, HIERARCHY, "province")
+        assert rolled.metadata["rollup_level"] == "province"
+
+    def test_rollup_to_top_level(self):
+        rolled = rollup_record(self.RECORD, HIERARCHY, "country")
+        # A, D, E, G all in GR; I unmapped: edges GR->GR internal + GR->I.
+        assert rolled.measure(("GR", "GR")) == 6.0
+        assert rolled.measure(("GR", "I")) == 4.0
+
+    def test_rollup_records_generator(self):
+        rolled = list(rollup_records([self.RECORD] * 3, HIERARCHY, "province"))
+        assert len(rolled) == 3
+
+    def test_rolled_records_queryable(self):
+        engine = GraphAnalyticsEngine()
+        engine.load_records(rollup_records([self.RECORD], HIERARCHY, "province"))
+        result = engine.query(GraphQuery([("P1", "P2"), ("P2", "P2")]))
+        assert result.record_ids == ["r"]

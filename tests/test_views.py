@@ -1,0 +1,149 @@
+"""Tests for view definitions and monotonicity (supersession) predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AggregateGraphView,
+    GraphQuery,
+    GraphView,
+    Path,
+    PathAggregationQuery,
+    aggregate_benefit,
+    graph_view_supersedes,
+    path_occurs_in,
+)
+
+
+class TestGraphView:
+    def test_basic(self):
+        view = GraphView("v", [("A", "B"), ("B", "C")])
+        assert len(view.elements) == 2
+
+    def test_single_element_rejected(self):
+        with pytest.raises(ValueError):
+            GraphView("v", [("A", "B")])
+
+    def test_usable_for_subset_queries_only(self):
+        view = GraphView("v", [("A", "B"), ("B", "C")])
+        superset = GraphQuery([("A", "B"), ("B", "C"), ("C", "D")])
+        partial = GraphQuery([("A", "B"), ("X", "Y")])
+        assert view.usable_for(superset)
+        assert not view.usable_for(partial)
+
+    def test_saving_is_size_minus_one(self):
+        view = GraphView("v", [("A", "B"), ("B", "C"), ("C", "D")])
+        q = GraphQuery([("A", "B"), ("B", "C"), ("C", "D"), ("D", "E")])
+        assert view.saving(q) == 2
+        assert view.saving(GraphQuery([("X", "Y")])) == 0
+
+    def test_equality(self):
+        assert GraphView("v", [("A", "B"), ("B", "C")]) == GraphView(
+            "v", [("B", "C"), ("A", "B")]
+        )
+
+
+class TestGraphViewSupersession:
+    AB, BC, CD = ("A", "B"), ("B", "C"), ("C", "D")
+
+    def test_larger_view_supersedes_when_cooccurring(self):
+        # Every query containing {AB} also contains {AB, BC}.
+        workload = [GraphQuery([self.AB, self.BC, self.CD])]
+        assert graph_view_supersedes({self.AB, self.BC}, {self.AB, self.CD}, workload) is False
+        assert graph_view_supersedes(
+            {self.AB, self.BC}, {self.AB}, workload
+        )
+
+    def test_no_supersession_when_query_separates(self):
+        # One query has AB without BC, so {AB,BC} does not supersede {AB}.
+        workload = [
+            GraphQuery([self.AB, self.BC]),
+            GraphQuery([self.AB, self.CD]),
+        ]
+        assert not graph_view_supersedes({self.AB, self.BC}, {self.AB}, workload)
+
+    def test_requires_strict_subset(self):
+        workload = [GraphQuery([self.AB, self.BC])]
+        assert not graph_view_supersedes({self.AB}, {self.AB}, workload)
+        assert not graph_view_supersedes({self.AB}, {self.AB, self.BC}, workload)
+
+    def test_paper_claim_query_not_superseded_by_superquery(self):
+        # Section 5.2: Gqi ⊂ Gqj does not imply the view Gqi is superseded
+        # by Gqj — query Gqi itself separates them.
+        small = GraphQuery([self.AB, self.BC])
+        big = GraphQuery([self.AB, self.BC, self.CD])
+        workload = [small, big]
+        assert not graph_view_supersedes(big.elements, small.elements, workload)
+
+
+class TestAggregateGraphView:
+    def test_distributive_stores_itself(self):
+        view = AggregateGraphView("av", Path.closed("A", "B", "C"), "sum")
+        assert view.stored_functions() == ("sum",)
+        assert view.column_names() == ("av:sum",)
+
+    def test_algebraic_stores_sub_aggregates(self):
+        view = AggregateGraphView("av", Path.closed("A", "B", "C"), "avg")
+        assert view.stored_functions() == ("sum", "count")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(KeyError):
+            AggregateGraphView("av", Path.closed("A", "B"), "median")
+
+    def test_elements_include_measured_nodes(self):
+        view = AggregateGraphView("av", Path.closed("A", "B"), "sum")
+        assert view.elements({"B"}) == (("A", "B"), ("B", "B"))
+
+    def test_usable_for_contiguous_occurrence(self):
+        view = AggregateGraphView("av", Path.closed("E", "F", "G"), "sum")
+        q = PathAggregationQuery(
+            GraphQuery.from_node_chain("A", "C", "E", "F", "G"), "sum"
+        )
+        assert view.usable_for(q)
+
+    def test_not_usable_for_disconnected_elements(self):
+        view = AggregateGraphView("av", Path.closed("E", "F", "G"), "sum")
+        q = PathAggregationQuery(GraphQuery.from_node_chain("E", "F"), "sum")
+        assert not view.usable_for(q)
+
+
+class TestPathOccursIn:
+    def test_occurs(self):
+        q = GraphQuery.from_node_chain("A", "B", "C", "D")
+        assert path_occurs_in(Path.closed("B", "C", "D"), q)
+
+    def test_does_not_occur_noncontiguously(self):
+        # B and D are both in the query but B,D is not a query path.
+        q = GraphQuery.from_node_chain("A", "B", "C", "D")
+        assert not path_occurs_in(Path.closed("B", "D"), q)
+
+    def test_diamond_branch(self):
+        q = GraphQuery([("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")])
+        assert path_occurs_in(Path.closed("A", "B", "D"), q)
+        assert not path_occurs_in(Path.closed("B", "C"), q)
+
+
+class TestAggregateBenefit:
+    def test_benefit_grows_with_length(self):
+        q = PathAggregationQuery(
+            GraphQuery.from_node_chain("A", "B", "C", "D", "E"), "sum"
+        )
+        short = aggregate_benefit(Path.closed("A", "B", "C"), q)
+        long = aggregate_benefit(Path.closed("A", "B", "C", "D"), q)
+        assert long > short > 0
+
+    def test_benefit_zero_when_unusable(self):
+        q = PathAggregationQuery(GraphQuery.from_node_chain("A", "B"), "sum")
+        assert aggregate_benefit(Path.closed("X", "Y", "Z"), q) == 0
+
+    def test_monotonicity_property(self):
+        # p1 ⊆ p2 ⊆ pq implies benefit(p1) <= benefit(p2)  (Section 5.4).
+        q = PathAggregationQuery(
+            GraphQuery.from_node_chain("A", "B", "C", "D", "E"), "sum"
+        )
+        p1 = Path.closed("B", "C")
+        p2 = Path.closed("B", "C", "D")
+        p3 = Path.closed("A", "B", "C", "D", "E")
+        b1, b2, b3 = (aggregate_benefit(p, q) for p in (p1, p2, p3))
+        assert b1 <= b2 <= b3

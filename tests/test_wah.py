@@ -1,0 +1,120 @@
+"""Tests for WAH-compressed bitmaps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnstore import Bitmap
+from repro.columnstore.wah import WahBitmap
+
+
+class TestRoundtrip:
+    def test_empty(self):
+        dense = Bitmap.zeros(100)
+        wah = WahBitmap.from_dense(dense)
+        assert wah.to_dense() == dense
+        assert wah.count() == 0
+
+    def test_full(self):
+        dense = Bitmap.ones(200)
+        wah = WahBitmap.from_dense(dense)
+        assert wah.to_dense() == dense
+        assert wah.count() == 200
+
+    def test_sparse(self):
+        dense = Bitmap.from_indices(1000, [0, 63, 64, 500, 999])
+        wah = WahBitmap.from_dense(dense)
+        assert wah.to_dense() == dense
+        assert wah.to_indices().tolist() == [0, 63, 64, 500, 999]
+
+    def test_from_indices(self):
+        wah = WahBitmap.from_indices(128, [5, 70])
+        assert wah.count() == 2
+
+    def test_zero_length(self):
+        wah = WahBitmap.from_dense(Bitmap.zeros(0))
+        assert wah.count() == 0
+        assert wah.length == 0
+
+
+class TestCompression:
+    def test_sparse_compresses_below_dense(self):
+        # 100k bits, 100 set: long zero fills dominate.
+        dense = Bitmap.from_indices(100_000, range(0, 1000, 10))
+        wah = WahBitmap.from_dense(dense)
+        assert wah.nbytes() < dense.nbytes() / 5
+
+    def test_dense_random_does_not_explode(self):
+        rng = np.random.default_rng(0)
+        indices = rng.choice(10_000, size=5_000, replace=False)
+        dense = Bitmap.from_indices(10_000, sorted(indices))
+        wah = WahBitmap.from_dense(dense)
+        # Worst case: one literal per group + header bits.
+        assert wah.nbytes() <= dense.nbytes() * 1.1
+
+
+class TestAnd:
+    def test_and_matches_dense(self):
+        a = Bitmap.from_indices(500, [1, 2, 3, 100, 400])
+        b = Bitmap.from_indices(500, [2, 3, 4, 400])
+        wah = WahBitmap.from_dense(a) & WahBitmap.from_dense(b)
+        assert wah.to_dense() == (a & b)
+
+    def test_and_length_mismatch(self):
+        with pytest.raises(ValueError):
+            WahBitmap.from_dense(Bitmap.zeros(10)) & WahBitmap.from_dense(
+                Bitmap.zeros(11)
+            )
+
+    def test_and_all(self):
+        bitmaps = [
+            WahBitmap.from_indices(100, [1, 2, 3]),
+            WahBitmap.from_indices(100, [2, 3, 4]),
+            WahBitmap.from_indices(100, [3, 4, 5]),
+        ]
+        assert WahBitmap.and_all(bitmaps).to_indices().tolist() == [3]
+
+    def test_and_all_empty(self):
+        with pytest.raises(ValueError):
+            WahBitmap.and_all([])
+
+    def test_equality(self):
+        a = WahBitmap.from_indices(100, [5])
+        b = WahBitmap.from_indices(100, [5])
+        assert a == b
+
+
+@st.composite
+def bit_patterns(draw):
+    length = draw(st.integers(min_value=1, max_value=400))
+    indices = draw(st.sets(st.integers(min_value=0, max_value=length - 1)))
+    return length, sorted(indices)
+
+
+class TestProperties:
+    @given(bit_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, pattern):
+        length, indices = pattern
+        dense = Bitmap.from_indices(length, indices)
+        assert WahBitmap.from_dense(dense).to_dense() == dense
+
+    @given(bit_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches(self, pattern):
+        length, indices = pattern
+        wah = WahBitmap.from_indices(length, indices)
+        assert wah.count() == len(indices)
+
+    @given(bit_patterns(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_compressed_and_equals_dense_and(self, pattern, data):
+        length, a_idx = pattern
+        b_idx = data.draw(st.sets(st.integers(min_value=0, max_value=length - 1)))
+        a = Bitmap.from_indices(length, a_idx)
+        b = Bitmap.from_indices(length, sorted(b_idx))
+        compressed = WahBitmap.from_dense(a) & WahBitmap.from_dense(b)
+        assert compressed.to_dense() == (a & b)
