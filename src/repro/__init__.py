@@ -41,7 +41,21 @@ from .core import (
 from .columnstore import Bitmap, IOStats, MasterRelation
 from .advisor import AdaptiveViewAdvisor
 from .dsl import QuerySyntaxError, parse_aggregation, parse_query
-from .io import read_csv_triplets, read_jsonl, write_csv_triplets, write_jsonl
+from .errors import (
+    CorruptionError,
+    IngestError,
+    ManifestError,
+    PersistenceError,
+    ReproError,
+)
+from .io import (
+    QuarantineEntry,
+    QuarantineReport,
+    read_csv_triplets,
+    read_jsonl,
+    write_csv_triplets,
+    write_jsonl,
+)
 
 __version__ = "1.0.0"
 
@@ -51,7 +65,14 @@ __all__ = [
     "AndNot",
     "AdaptiveViewAdvisor",
     "Bitmap",
+    "CorruptionError",
+    "IngestError",
+    "ManifestError",
+    "PersistenceError",
+    "QuarantineEntry",
+    "QuarantineReport",
     "QuerySyntaxError",
+    "ReproError",
     "parse_aggregation",
     "parse_query",
     "read_csv_triplets",

@@ -20,41 +20,21 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import json
+import os
 import sys
 from pathlib import Path as FsPath
 
-from .columnstore import load_relation, relation_disk_usage, save_relation
-from .core import GraphAnalyticsEngine, GraphQuery
+from .columnstore import relation_disk_usage
+from .core import GraphAnalyticsEngine
 from .dsl import parse_aggregation, parse_query
-from .io import read_csv_triplets, read_jsonl
+from .errors import ReproError
+from .io import QuarantineReport, read_csv_triplets, read_jsonl
 
 __all__ = ["main"]
 
-_META = "engine_meta.json"
-
-
-def _save_engine(engine: GraphAnalyticsEngine, directory: FsPath) -> None:
-    save_relation(engine.relation, directory)
-    meta = {
-        "record_ids": [str(r) for r in engine.record_ids_at(range(engine.n_records))],
-        "edges": [list(edge) for edge in engine.catalog],
-        "measured_nodes": sorted(str(n) for n in engine.measured_nodes),
-    }
-    (directory / _META).write_text(json.dumps(meta))
-
 
 def _load_engine(directory: FsPath) -> GraphAnalyticsEngine:
-    engine = GraphAnalyticsEngine()
-    relation = load_relation(directory)
-    relation.collector = engine.collector
-    engine.relation = relation
-    meta = json.loads((directory / _META).read_text())
-    engine._record_ids = meta["record_ids"]
-    for edge in meta["edges"]:
-        engine.catalog.intern(tuple(edge))
-    engine._measured_nodes = set(meta["measured_nodes"])
-    return engine
+    return GraphAnalyticsEngine.load(directory)
 
 
 def _cmd_load(args: argparse.Namespace) -> int:
@@ -64,14 +44,29 @@ def _cmd_load(args: argparse.Namespace) -> int:
     else:
         fmt = args.format
     reader = read_csv_triplets if fmt == "csv" else read_jsonl
-    engine = GraphAnalyticsEngine()
-    loaded = engine.load_records(reader(source))
     directory = FsPath(args.database)
-    directory.mkdir(parents=True, exist_ok=True)
-    _save_engine(engine, directory)
+    report = QuarantineReport()
+    records = reader(source, policy=args.on_error, report=report)
+    if args.resume:
+        if GraphAnalyticsEngine.is_saved_engine(directory):
+            engine = GraphAnalyticsEngine.load(directory)
+        else:
+            engine = GraphAnalyticsEngine()
+        loaded = engine.load_records_resumable(
+            records, directory, batch_size=args.batch_size
+        )
+    else:
+        engine = GraphAnalyticsEngine()
+        loaded = engine.load_records(records)
+        engine.save(directory)
     print(f"loaded {loaded} records "
           f"({engine.relation.n_element_columns} distinct elements) "
           f"into {directory}")
+    if report:
+        print(report.summary(), file=sys.stderr)
+    if args.quarantine:
+        FsPath(args.quarantine).write_text(report.to_json())
+        print(f"quarantine report written to {args.quarantine}", file=sys.stderr)
     return 0
 
 
@@ -155,6 +150,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("source", help="records file (.jsonl or .csv)")
     p_load.add_argument("database", help="output database directory")
     p_load.add_argument("--format", choices=["auto", "jsonl", "csv"], default="auto")
+    p_load.add_argument(
+        "--on-error", choices=["strict", "skip", "collect"], default="strict",
+        help="bad input lines: abort (strict), drop silently (skip), or "
+             "drop and report (collect)",
+    )
+    p_load.add_argument(
+        "--quarantine", metavar="FILE", default=None,
+        help="write the quarantine report as JSON to FILE",
+    )
+    p_load.add_argument(
+        "--resume", action="store_true",
+        help="batched, checkpointed load; re-run the same command after a "
+             "crash to continue where it left off",
+    )
+    p_load.add_argument(
+        "--batch-size", type=int, default=1000,
+        help="records per checkpointed batch with --resume (default 1000)",
+    )
     p_load.set_defaults(func=_cmd_load)
 
     p_query = sub.add_parser("query", help="run a DSL graph query")
@@ -185,6 +198,12 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except (ValueError, FileNotFoundError, KeyError) as exc:
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe early.
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (ReproError, ValueError, FileNotFoundError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

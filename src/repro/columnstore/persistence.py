@@ -1,77 +1,305 @@
-"""Disk persistence for the master relation.
+"""Crash-safe disk persistence for the master relation.
 
-Stores each column as ``.npy`` files in a directory — one pair
-(values, validity words) per measure column, one word file per view bitmap
-— plus a small JSON manifest.  This mirrors a column store's one-file-per-
-column layout and lets the Table 2 / Figure 4 benchmarks report genuine
-size-on-disk numbers.
+Stores each column as ``.npy`` files — one pair (values, validity rows)
+per measure column, one word file per view bitmap — plus a versioned JSON
+manifest.  This mirrors a column store's one-file-per-column layout and
+lets the Table 2 / Figure 4 benchmarks report genuine size-on-disk numbers.
+
+Durability model (write-ahead-by-rename):
+
+* every save writes a fresh **generation directory** ``gen-NNNNNN/`` next
+  to the manifest; column files are first written into a hidden temp
+  directory and published with one atomic ``os.replace``;
+* the root ``manifest.json`` names the live generation and carries the
+  size and CRC32 of every file in it; it is replaced atomically, so the
+  manifest swap is the single commit point — a crash at *any* earlier
+  instant leaves the previous manifest pointing at the previous
+  generation, which is never modified in place;
+* committed saves garbage-collect superseded generations and stale temp
+  directories; a crashed save's debris is swept by the next save.
+
+``load_relation`` verifies each file's size and checksum against the
+manifest before deserializing, raising :class:`~repro.errors.CorruptionError`
+/ :class:`~repro.errors.ManifestError` for base columns.  A damaged *view*
+file is not fatal: the view is dropped with a warning (recorded in
+``MasterRelation.dropped_views``) and queries fall back to base bitmaps.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import warnings
+import zlib
+from collections.abc import Callable
 from pathlib import Path as FsPath
 
 import numpy as np
 
+from ..errors import CorruptionError, ManifestError, PersistenceError
 from .bitmap import Bitmap
 from .column import MeasureColumn
 from .table import MasterRelation
 
-__all__ = ["save_relation", "load_relation", "relation_disk_usage"]
+__all__ = [
+    "save_relation",
+    "load_relation",
+    "relation_disk_usage",
+    "FORMAT_VERSION",
+]
 
 _MANIFEST = "manifest.json"
+_GEN_PREFIX = "gen-"
+_TMP_PREFIX = ".tmp-"
+FORMAT_VERSION = 2
+
+# Fault-injection seam: each hook is called with a stage label at every
+# point during a save where a crash would leave the directory in a distinct
+# on-disk state (tests/faultinject.py raises from here to simulate crashes).
+_save_hooks: list[Callable[[str], None]] = []
 
 
-def save_relation(relation: MasterRelation, directory: str | FsPath) -> None:
-    """Write the relation's columns and views under ``directory``."""
+def _notify(stage: str) -> None:
+    for hook in list(_save_hooks):
+        hook(stage)
+
+
+def _crc32_of(path: FsPath) -> int:
+    crc = 0
+    with open(path, "rb") as handle:
+        while chunk := handle.read(1 << 20):
+            crc = zlib.crc32(chunk, crc)
+    return crc
+
+
+def _try_read_manifest(root: FsPath) -> dict | None:
+    """Best-effort read of the current manifest (None when absent/corrupt);
+    used by save to pick the next generation number without failing on a
+    damaged predecessor."""
+    path = root / _MANIFEST
+    if not path.is_file():
+        return None
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return manifest if isinstance(manifest, dict) else None
+
+
+def _collect_garbage(root: FsPath, keep: set[str]) -> None:
+    """Remove generation/temp directories (and staged manifests) that are
+    not in ``keep`` — debris from superseded or crashed saves."""
+    for child in root.iterdir():
+        if child.name in keep or child.name == _MANIFEST:
+            continue
+        if child.is_dir() and child.name.startswith((_GEN_PREFIX, _TMP_PREFIX)):
+            shutil.rmtree(child, ignore_errors=True)
+        elif child.is_file() and child.name == _MANIFEST + ".tmp":
+            child.unlink(missing_ok=True)
+
+
+def save_relation(
+    relation: MasterRelation,
+    directory: str | FsPath,
+    app_meta: dict | None = None,
+) -> None:
+    """Atomically write the relation's columns and views under ``directory``.
+
+    The previous on-disk relation (if any) stays loadable until the final
+    manifest swap; an interrupted save never damages it.  ``app_meta`` is
+    an optional JSON-serializable payload stored inside the manifest (the
+    engine keeps its catalog there), so application metadata commits in
+    the same atomic swap as the column data.
+    """
     root = FsPath(directory)
-    root.mkdir(parents=True, exist_ok=True)
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise PersistenceError(f"cannot create relation directory {root}: {exc}") from None
+    previous = _try_read_manifest(root)
+    prev_gen = previous.get("directory") if previous else None
+    generation = int(previous.get("generation", 0)) + 1 if previous else 1
+    gen_name = f"{_GEN_PREFIX}{generation:06d}"
+    _collect_garbage(root, keep={prev_gen} if prev_gen else set())
+
+    tmp_dir = root / f"{_TMP_PREFIX}{gen_name}"
+    shutil.rmtree(tmp_dir, ignore_errors=True)
+    tmp_dir.mkdir()
+    files: dict[str, dict[str, int]] = {}
+
+    def _write_array(name: str, array: np.ndarray) -> None:
+        path = tmp_dir / name
+        np.save(path, array)
+        files[name] = {"size": path.stat().st_size, "crc32": _crc32_of(path)}
+        _notify(f"wrote:{name}")
+
+    for edge_id in relation.element_ids():
+        column = relation.column_for_persistence(edge_id)
+        rows = column.validity.to_indices()
+        _write_array(f"m{edge_id}_rows.npy", rows)
+        _write_array(f"m{edge_id}_vals.npy", column.take(rows))
+    for name, bitmap in relation.graph_views_for_persistence().items():
+        _write_array(f"gv_{name}.npy", np.asarray(bitmap.words()))
+    for name, column in relation.aggregate_views_for_persistence().items():
+        rows = column.validity.to_indices()
+        _write_array(f"av_{name}_rows.npy", rows)
+        _write_array(f"av_{name}_vals.npy", column.take(rows))
+    _notify("columns-written")
+
     manifest = {
+        "format_version": FORMAT_VERSION,
+        "generation": generation,
+        "directory": gen_name,
         "n_records": relation.n_records,
         "partition_width": relation.partition_width,
         "element_ids": relation.element_ids(),
         "graph_views": relation.graph_view_names(),
         "aggregate_views": relation.aggregate_view_names(),
+        "files": files,
     }
-    for edge_id in relation.element_ids():
-        column = relation.column_for_persistence(edge_id)
-        rows = column.validity.to_indices()
-        np.save(root / f"m{edge_id}_rows.npy", rows)
-        np.save(root / f"m{edge_id}_vals.npy", column.take(rows))
-    for name, bitmap in relation.graph_views_for_persistence().items():
-        np.save(root / f"gv_{name}.npy", np.asarray(bitmap.words()))
-    for name, column in relation.aggregate_views_for_persistence().items():
-        rows = column.validity.to_indices()
-        np.save(root / f"av_{name}_rows.npy", rows)
-        np.save(root / f"av_{name}_vals.npy", column.take(rows))
-    (root / _MANIFEST).write_text(json.dumps(manifest))
+    if app_meta is not None:
+        manifest["app_meta"] = app_meta
+    os.replace(tmp_dir, root / gen_name)
+    _notify("generation-published")
+    staged = root / (_MANIFEST + ".tmp")
+    staged.write_text(json.dumps(manifest))
+    _notify("manifest-staged")
+    os.replace(staged, root / _MANIFEST)  # the commit point
+    _notify("committed")
+    _collect_garbage(root, keep={gen_name})
+    _notify("cleaned")
 
 
-def load_relation(directory: str | FsPath) -> MasterRelation:
-    """Reconstruct a relation previously written by :func:`save_relation`."""
+_REQUIRED_KEYS = (
+    "format_version",
+    "generation",
+    "directory",
+    "n_records",
+    "partition_width",
+    "element_ids",
+    "graph_views",
+    "aggregate_views",
+    "files",
+)
+
+
+def _read_manifest(root: FsPath) -> dict:
+    if not root.is_dir():
+        raise PersistenceError(f"relation directory {root} does not exist")
+    path = root / _MANIFEST
+    if not path.is_file():
+        raise PersistenceError(f"{root} is not a relation directory (no {_MANIFEST})")
+    try:
+        manifest = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ManifestError(f"{path}: invalid JSON: {exc}") from None
+    if not isinstance(manifest, dict):
+        raise ManifestError(f"{path}: manifest must be a JSON object")
+    missing = [key for key in _REQUIRED_KEYS if key not in manifest]
+    if missing:
+        raise ManifestError(f"{path}: manifest missing fields {missing}")
+    version = manifest["format_version"]
+    if version != FORMAT_VERSION:
+        raise ManifestError(
+            f"{path}: unsupported manifest format_version {version!r} "
+            f"(this build reads version {FORMAT_VERSION}); re-save the relation"
+        )
+    return manifest
+
+
+def load_relation(directory: str | FsPath, verify: bool = True) -> MasterRelation:
+    """Reconstruct a relation previously written by :func:`save_relation`.
+
+    Every base-column file is checked against the manifest's size and CRC32
+    before use (disable with ``verify=False`` for speed on trusted media);
+    integrity failures raise :class:`CorruptionError`.  A damaged graph- or
+    aggregate-view file only drops that view — a warning is emitted, the
+    drop is recorded in ``relation.dropped_views``, and query evaluation
+    degrades to the base ``b_i`` bitmaps.
+    """
     root = FsPath(directory)
-    manifest = json.loads((root / _MANIFEST).read_text())
-    relation = MasterRelation(partition_width=manifest["partition_width"])
-    relation.set_record_count(manifest["n_records"])
+    manifest = _read_manifest(root)
+    gen_dir = root / str(manifest["directory"])
+    if not gen_dir.is_dir():
+        raise CorruptionError(
+            f"{root}: manifest names generation {manifest['directory']!r} "
+            "but that directory is missing"
+        )
+    files = manifest["files"]
+    if not isinstance(files, dict):
+        raise ManifestError(f"{root}/{_MANIFEST}: 'files' must be an object")
+
+    def _load_array(name: str) -> np.ndarray:
+        entry = files.get(name)
+        if not isinstance(entry, dict) or "size" not in entry or "crc32" not in entry:
+            raise ManifestError(f"{root}/{_MANIFEST}: no integrity entry for {name!r}")
+        path = gen_dir / name
+        if not path.is_file():
+            raise CorruptionError(f"{path}: column file is missing")
+        if verify:
+            size = path.stat().st_size
+            if size != entry["size"]:
+                raise CorruptionError(
+                    f"{path}: size {size} != manifest size {entry['size']} (torn write?)"
+                )
+            crc = _crc32_of(path)
+            if crc != entry["crc32"]:
+                raise CorruptionError(f"{path}: CRC32 mismatch (corrupted data)")
+        try:
+            return np.load(path)
+        except Exception as exc:  # np.load raises assorted ValueError/EOFError
+            raise CorruptionError(f"{path}: unreadable .npy payload: {exc}") from None
+
+    n_records = int(manifest["n_records"])
+    relation = MasterRelation(partition_width=int(manifest["partition_width"]))
+    relation.set_record_count(n_records)
     for edge_id in manifest["element_ids"]:
-        rows = np.load(root / f"m{edge_id}_rows.npy")
-        vals = np.load(root / f"m{edge_id}_vals.npy")
-        relation.load_sparse_column(edge_id, rows, vals)
+        rows = _load_array(f"m{edge_id}_rows.npy")
+        vals = _load_array(f"m{edge_id}_vals.npy")
+        try:
+            relation.load_sparse_column(edge_id, rows, vals)
+        except (ValueError, IndexError) as exc:
+            raise CorruptionError(
+                f"{gen_dir}/m{edge_id}_*.npy: inconsistent column arrays: {exc}"
+            ) from None
+
+    def _drop_view(name: str, exc: Exception) -> None:
+        reason = str(exc)
+        relation.dropped_views.append((name, reason))
+        warnings.warn(
+            f"dropping damaged view {name!r} (queries fall back to base "
+            f"bitmaps): {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     for name in manifest["graph_views"]:
-        words = np.load(root / f"gv_{name}.npy").astype(np.uint64)
-        relation.add_graph_view(name, Bitmap(manifest["n_records"], words))
+        try:
+            words = _load_array(f"gv_{name}.npy").astype(np.uint64)
+            relation.add_graph_view(name, Bitmap(n_records, words))
+        except (PersistenceError, ValueError, IndexError) as exc:
+            _drop_view(name, exc)
     for name in manifest["aggregate_views"]:
-        rows = np.load(root / f"av_{name}_rows.npy")
-        vals = np.load(root / f"av_{name}_vals.npy")
-        values = np.full(manifest["n_records"], np.nan)
-        values[rows] = vals
-        validity = Bitmap.from_indices(manifest["n_records"], rows)
-        relation.add_aggregate_view(name, MeasureColumn(values, validity))
+        try:
+            rows = _load_array(f"av_{name}_rows.npy")
+            vals = _load_array(f"av_{name}_vals.npy")
+            if rows.shape != vals.shape:
+                raise CorruptionError(
+                    f"{gen_dir}/av_{name}_*.npy: rows/values arrays disagree"
+                )
+            values = np.full(n_records, np.nan)
+            values[np.asarray(rows, dtype=np.int64)] = vals
+            validity = Bitmap.from_indices(n_records, rows)
+            relation.add_aggregate_view(name, MeasureColumn(values, validity))
+        except (PersistenceError, ValueError, IndexError) as exc:
+            _drop_view(name, exc)
+    relation.app_meta = manifest.get("app_meta")
     return relation
 
 
 def relation_disk_usage(directory: str | FsPath) -> int:
-    """Total bytes used by a persisted relation directory."""
+    """Total bytes used by a persisted relation directory (all files,
+    including the manifest and the live generation)."""
     root = FsPath(directory)
-    return sum(f.stat().st_size for f in root.iterdir() if f.is_file())
+    return sum(f.stat().st_size for f in root.rglob("*") if f.is_file())

@@ -58,6 +58,12 @@ class MasterRelation:
         self._columns: dict[int, MeasureColumn] = {}
         self._graph_views: dict[str, Bitmap] = {}
         self._aggregate_views: dict[str, MeasureColumn] = {}
+        # Views the persistence layer refused to load (name, reason) —
+        # populated by load_relation when a view file fails verification.
+        self.dropped_views: list[tuple[str, str]] = []
+        # Application metadata persisted inside the manifest (committed in
+        # the same atomic swap as the columns); None until loaded/saved.
+        self.app_meta: dict | None = None
 
     # -- loading -------------------------------------------------------------
 
@@ -202,6 +208,14 @@ class MasterRelation:
     def graph_view_names(self) -> list[str]:
         return sorted(self._graph_views)
 
+    def has_graph_view(self, name: str) -> bool:
+        return name in self._graph_views
+
+    def drop_graph_view(self, name: str) -> None:
+        """Remove one graph view's bitmap column (missing names are a no-op,
+        so degraded loads can be re-pruned idempotently)."""
+        self._graph_views.pop(name, None)
+
     def _check_fresh(self, length: int, name: str) -> None:
         if length != self._n_records:
             raise RuntimeError(
@@ -241,6 +255,14 @@ class MasterRelation:
 
     def aggregate_view_names(self) -> list[str]:
         return sorted(self._aggregate_views)
+
+    def has_aggregate_view(self, name: str) -> bool:
+        return name in self._aggregate_views
+
+    def drop_aggregate_view(self, name: str) -> None:
+        """Remove one aggregate view's column pair (missing names are a
+        no-op, so degraded loads can be re-pruned idempotently)."""
+        self._aggregate_views.pop(name, None)
 
     def aggregate_view_bitmap(self, name: str) -> Bitmap:
         """Fetch ``bp_l`` for an aggregate view (counted as a view fetch)."""

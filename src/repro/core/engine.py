@@ -17,8 +17,12 @@ accounting), the graph data/query model, and the view framework:
 
 from __future__ import annotations
 
+import json
+import os
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
+from itertools import islice
+from pathlib import Path as FsPath
 from typing import Hashable
 
 import numpy as np
@@ -26,7 +30,9 @@ import numpy as np
 from ..columnstore.bitmap import Bitmap
 from ..columnstore.column import MeasureColumn
 from ..columnstore.iostats import IOStats, IOStatsCollector
+from ..columnstore.persistence import load_relation, save_relation
 from ..columnstore.table import MasterRelation
+from ..errors import IngestError, ManifestError, PersistenceError
 from .aggregates import get_function
 from .candidates import (
     apriori_candidates,
@@ -43,6 +49,7 @@ from .rewrite import (
     GraphQueryPlan,
     plan_aggregation,
     plan_graph_query,
+    prune_unavailable_views,
 )
 from .setcover import greedy_select_views
 from .views import AggregateGraphView, GraphView
@@ -206,6 +213,188 @@ class GraphAnalyticsEngine:
 
     def record_ids_at(self, rows: np.ndarray) -> list:
         return [self._record_ids[i] for i in np.asarray(rows, dtype=np.int64)]
+
+    # -- persistence ----------------------------------------------------------
+
+    _CHECKPOINT = "ingest_checkpoint.json"
+
+    @staticmethod
+    def _atomic_write_json(path: FsPath, payload: dict) -> None:
+        staged = path.with_name(path.name + ".tmp")
+        staged.write_text(json.dumps(payload))
+        os.replace(staged, path)
+
+    @staticmethod
+    def is_saved_engine(directory: str | FsPath) -> bool:
+        """Whether ``directory`` looks like a saved engine database."""
+        return (FsPath(directory) / "manifest.json").is_file()
+
+    def save(self, directory: str | FsPath) -> None:
+        """Persist the full engine (relation + catalog + view definitions)
+        under ``directory``, crash-safely.
+
+        The engine metadata rides inside the relation manifest, so columns,
+        views, and catalog commit in *one* atomic swap — an interrupted
+        save leaves the previous state loadable, never a torn mix.
+        """
+        directory = FsPath(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "record_ids": [str(r) for r in self._record_ids],
+            "edges": [list(edge) for edge in self.catalog],
+            "measured_nodes": sorted(str(n) for n in self._measured_nodes),
+            "graph_views": [
+                {
+                    "name": view.name,
+                    "elements": [list(e) for e in sorted(view.elements, key=repr)],
+                }
+                for _, view in sorted(self._graph_views.items())
+            ],
+            "aggregate_views": [
+                {
+                    "name": view.name,
+                    "nodes": list(view.path.nodes),
+                    "open_start": view.path.open_start,
+                    "open_end": view.path.open_end,
+                    "function": view.function,
+                }
+                for _, view in sorted(self._agg_views.items())
+            ],
+            "view_counter": self._view_counter,
+        }
+        save_relation(self.relation, directory, app_meta=meta)
+
+    @classmethod
+    def load(cls, directory: str | FsPath) -> "GraphAnalyticsEngine":
+        """Reconstruct an engine saved by :meth:`save`.
+
+        Base columns are integrity-checked (corruption raises
+        :class:`~repro.errors.CorruptionError`); views whose files were
+        damaged are dropped with a warning and queries transparently fall
+        back to base bitmaps.
+        """
+        directory = FsPath(directory)
+        engine = cls()
+        relation = load_relation(directory)
+        relation.collector = engine.collector
+        engine.relation = relation
+        meta = relation.app_meta
+        if meta is None:
+            raise PersistenceError(
+                f"{directory} carries no engine metadata; was this relation "
+                "saved with GraphAnalyticsEngine.save()?"
+            )
+        try:
+            engine._record_ids = list(meta["record_ids"])
+            for edge in meta["edges"]:
+                engine.catalog.intern(tuple(edge))
+            engine._measured_nodes = set(meta["measured_nodes"])
+            for spec in meta.get("graph_views", []):
+                view = GraphView(
+                    spec["name"], frozenset(tuple(e) for e in spec["elements"])
+                )
+                engine._graph_views[view.name] = view
+            for spec in meta.get("aggregate_views", []):
+                path = Path(
+                    spec["nodes"],
+                    open_start=spec["open_start"],
+                    open_end=spec["open_end"],
+                )
+                view = AggregateGraphView(spec["name"], path, spec["function"])
+                engine._agg_views[view.name] = view
+            engine._view_counter = int(meta.get("view_counter", 0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestError(
+                f"{directory}: malformed engine metadata: {exc}"
+            ) from None
+        if len(engine._record_ids) != relation.n_records:
+            raise ManifestError(
+                f"{directory}: {len(engine._record_ids)} record ids for "
+                f"{relation.n_records} stored records"
+            )
+        engine.sync_views_with_relation()
+        return engine
+
+    def sync_views_with_relation(self) -> list[str]:
+        """Drop view definitions whose backing columns the relation lacks
+        (e.g. refused at load time as corrupt), so the rewriter degrades to
+        base bitmaps instead of planning against phantom views.  Returns
+        the dropped view names."""
+        dropped = prune_unavailable_views(
+            self._graph_views, self._agg_views, self.relation
+        )
+        self._bump_views_epoch()
+        return dropped
+
+    def load_records_resumable(
+        self,
+        records: Iterable[GraphRecord],
+        directory: str | FsPath,
+        batch_size: int = 1000,
+    ) -> int:
+        """Bulk-load ``records`` in batches, persisting a checkpoint after
+        each batch so a crashed load can resume.
+
+        After every ``batch_size`` records the engine is saved to
+        ``directory`` (atomically) and ``ingest_checkpoint.json`` records
+        how far the input stream got.  To resume after a crash, reload the
+        persisted engine with :meth:`load` and call this again with the
+        *same* record stream: already-persisted records are skipped and
+        loading continues from the first unsaved one.  Re-running a
+        finished load with the same stream is a no-op, and a stream that
+        has since grown (an appended log file) loads only the new tail.
+        Returns the number of records loaded by *this* call.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        directory = FsPath(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        checkpoint = directory / self._CHECKPOINT
+        if checkpoint.is_file():
+            try:
+                state = json.loads(checkpoint.read_text())
+                base = int(state["base"])
+                loaded_before = int(state["loaded"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                raise ManifestError(
+                    f"{checkpoint}: corrupt ingest checkpoint; delete it to "
+                    "restart the load from scratch"
+                ) from None
+            # The engine may hold a few more records than the checkpoint
+            # says (a crash can land between the save and the checkpoint
+            # write); the saved engine is the source of truth.
+            if self.n_records < base + loaded_before:
+                raise IngestError(
+                    f"engine holds {self.n_records} records but "
+                    f"{checkpoint} expects at least {base + loaded_before}; "
+                    f"resume from the saved engine: GraphAnalyticsEngine.load({str(directory)!r})"
+                )
+            skip = self.n_records - base
+        else:
+            base = self.n_records
+            skip = 0
+        stream = iter(records)
+        if skip:
+            consumed = sum(1 for _ in islice(stream, skip))
+            if consumed < skip:
+                raise IngestError(
+                    f"record stream has only {consumed} records but "
+                    f"{skip} were already loaded; resume with the same source"
+                )
+        loaded = 0
+        while batch := list(islice(stream, batch_size)):
+            loaded += self.load_records(batch)
+            self.save(directory)
+            self._atomic_write_json(
+                checkpoint, {"base": base, "loaded": self.n_records - base}
+            )
+        if loaded == 0 and not self.is_saved_engine(directory):
+            self.save(directory)
+        self._atomic_write_json(
+            checkpoint,
+            {"base": base, "loaded": self.n_records - base, "complete": True},
+        )
+        return loaded
 
     # -- structural evaluation -------------------------------------------------
 

@@ -22,9 +22,10 @@ The module implements:
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Mapping, Sequence, Set
+from collections.abc import Iterable, Sequence, Set
 from typing import Hashable
 
+from ..errors import PathJoinError
 from .record import Edge
 
 __all__ = [
@@ -36,10 +37,6 @@ __all__ = [
     "source_nodes",
     "terminal_nodes",
 ]
-
-
-class PathJoinError(ValueError):
-    """Raised when two paths cannot be composed with the ⋈ operator."""
 
 
 class Path:

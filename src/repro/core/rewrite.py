@@ -31,10 +31,45 @@ __all__ = [
     "PathPlan",
     "AggregationPlan",
     "plan_graph_query",
+    "prune_unavailable_views",
     "tile_path",
     "plan_aggregation",
     "segment_elements",
 ]
+
+
+def prune_unavailable_views(
+    graph_views: dict[str, GraphView],
+    agg_views: dict[str, AggregateGraphView],
+    relation,
+) -> list[str]:
+    """Graceful degradation: drop view *definitions* whose backing columns
+    are absent from ``relation``.
+
+    The persistence layer refuses to load a view file that fails its
+    integrity check, leaving the relation without that bitmap / column
+    pair.  Planning against such a phantom view would crash at fetch time,
+    so this removes the orphaned definitions (mutating both mappings); the
+    planners then cover those elements with the base ``b_i`` bitmaps and
+    raw measure columns, keeping query answers identical — just without
+    the view's speedup.  Returns the dropped view names.
+    """
+    dropped: list[str] = []
+    for name in list(graph_views):
+        if not relation.has_graph_view(name):
+            del graph_views[name]
+            dropped.append(name)
+    for name, view in list(agg_views.items()):
+        columns = [f"{name}:{fn}" for fn in view.stored_functions()]
+        if all(relation.has_aggregate_view(c) for c in columns):
+            continue
+        # A partially loaded view (some sub-aggregate columns survived) is
+        # unusable; drop the survivors so the relation stays consistent.
+        for column in columns:
+            relation.drop_aggregate_view(column)
+        del agg_views[name]
+        dropped.append(name)
+    return dropped
 
 
 @dataclass

@@ -34,12 +34,9 @@ import re
 
 from .core.aggregates import FUNCTIONS
 from .core.query import And, AndNot, GraphQuery, Or, PathAggregationQuery, QueryExpr
+from .errors import QuerySyntaxError
 
 __all__ = ["parse_query", "parse_aggregation", "QuerySyntaxError"]
-
-
-class QuerySyntaxError(ValueError):
-    """Raised on malformed query text, with position information."""
 
 
 _TOKEN_RE = re.compile(

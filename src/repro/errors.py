@@ -1,0 +1,67 @@
+"""Typed error hierarchy for the whole stack.
+
+Every failure the library can surface to a caller derives from
+:class:`ReproError`, so applications (and the CLI) can catch one base class
+instead of fishing ``KeyError``/``ValueError`` out of internals:
+
+* :class:`PersistenceError` — anything wrong with an on-disk relation
+  directory;
+
+  * :class:`ManifestError` — the manifest (or another metadata file) is
+    missing required fields, has an unsupported format version, or is not
+    valid JSON;
+  * :class:`CorruptionError` — a data file failed an integrity check:
+    wrong size (torn write), CRC32 mismatch (bit rot), unreadable ``.npy``
+    payload, or internally inconsistent arrays;
+
+* :class:`IngestError` — a record source (JSONL / CSV / checkpointed bulk
+  load) contains data that cannot be ingested under the active error
+  policy;
+* :class:`QuerySyntaxError` — the DSL parser rejected a query string
+  (defined here, re-exported by :mod:`repro.dsl`);
+* :class:`PathJoinError` — two paths cannot be joined (defined here,
+  re-exported by :mod:`repro.core.paths`).
+
+``IngestError``, ``QuerySyntaxError`` and ``PathJoinError`` also subclass
+``ValueError`` so existing ``except ValueError`` callers keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PersistenceError",
+    "ManifestError",
+    "CorruptionError",
+    "IngestError",
+    "QuerySyntaxError",
+    "PathJoinError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class PersistenceError(ReproError):
+    """A persisted relation directory cannot be written or read."""
+
+
+class ManifestError(PersistenceError):
+    """A manifest / metadata file is missing, malformed, or unsupported."""
+
+
+class CorruptionError(PersistenceError):
+    """A data file failed an integrity check (size, CRC32, or contents)."""
+
+
+class IngestError(ReproError, ValueError):
+    """A record source contains data that cannot be ingested."""
+
+
+class QuerySyntaxError(ReproError, ValueError):
+    """A DSL query string could not be parsed."""
+
+
+class PathJoinError(ReproError, ValueError):
+    """Two paths cannot be path-joined (no shared endpoint)."""

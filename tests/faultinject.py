@@ -1,0 +1,141 @@
+"""Fault-injection helpers for the durability test suite.
+
+Simulates the storage failures a production deployment actually sees:
+
+* **mid-save crashes** — the persistence layer announces each distinct
+  on-disk state transition through ``repro.columnstore.persistence``'s
+  save-hook seam; :func:`crash_at_stage` raises :class:`SimulatedCrash`
+  from inside a chosen transition, modeling a process killed at exactly
+  that instant;
+* **torn writes** — :func:`truncate_file` chops bytes off a column file,
+  as when the OS flushed only part of a page before power loss;
+* **bit rot** — :func:`flip_bit` flips one bit in a file's payload;
+* **metadata corruption** — :func:`corrupt_manifest_crc` damages a stored
+  checksum inside the manifest itself.
+
+All helpers operate on a relation directory written by ``save_relation``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from pathlib import Path
+
+from repro.columnstore import persistence
+
+__all__ = [
+    "SimulatedCrash",
+    "record_save_stages",
+    "save_stage_labels",
+    "crash_at_stage",
+    "crash_on_nth",
+    "truncate_file",
+    "flip_bit",
+    "corrupt_manifest_crc",
+    "data_file",
+    "live_manifest",
+]
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by an injected hook to model a process dying mid-save."""
+
+
+@contextlib.contextmanager
+def _installed_hook(hook):
+    persistence._save_hooks.append(hook)
+    try:
+        yield
+    finally:
+        persistence._save_hooks.remove(hook)
+
+
+@contextlib.contextmanager
+def record_save_stages(stages: list):
+    """Append every save-stage label reached inside the block to ``stages``."""
+    with _installed_hook(stages.append):
+        yield stages
+
+
+def save_stage_labels(relation, directory) -> list[str]:
+    """Run one real save into ``directory``, returning its stage labels —
+    the crash points a subsequent :func:`crash_at_stage` sweep can hit."""
+    stages: list[str] = []
+    with record_save_stages(stages):
+        persistence.save_relation(relation, directory)
+    return stages
+
+
+@contextlib.contextmanager
+def crash_at_stage(target: int | str):
+    """Crash the save when it reaches a stage.
+
+    ``target`` is either a stage index (0-based position in the save's
+    stage sequence) or an exact stage label.
+    """
+    seen = 0
+
+    def hook(stage: str) -> None:
+        nonlocal seen
+        if isinstance(target, int):
+            if seen == target:
+                raise SimulatedCrash(f"stage[{target}]={stage}")
+            seen += 1
+        elif stage == target:
+            raise SimulatedCrash(stage)
+
+    with _installed_hook(hook):
+        yield
+
+
+@contextlib.contextmanager
+def crash_on_nth(label: str, n: int):
+    """Crash on the ``n``-th (1-based) occurrence of ``label`` across all
+    saves inside the block — e.g. kill the third batch of a bulk load."""
+    seen = 0
+
+    def hook(stage: str) -> None:
+        nonlocal seen
+        if stage == label:
+            seen += 1
+            if seen == n:
+                raise SimulatedCrash(f"{label}#{n}")
+
+    with _installed_hook(hook):
+        yield
+
+
+def truncate_file(path: str | Path, nbytes: int = 1) -> None:
+    """Torn write: drop the final ``nbytes`` bytes of ``path``."""
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: max(len(data) - nbytes, 0)])
+
+
+def flip_bit(path: str | Path, byte_offset: int = -1, bit: int = 0) -> None:
+    """Bit rot: flip one bit at ``byte_offset`` (negative counts from the
+    end, so the default hits payload rather than the .npy header)."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    data[byte_offset] ^= 1 << bit
+    path.write_bytes(bytes(data))
+
+
+def live_manifest(root: str | Path) -> dict:
+    """The relation directory's current manifest, parsed."""
+    return json.loads((Path(root) / "manifest.json").read_text())
+
+
+def data_file(root: str | Path, name: str) -> Path:
+    """Path of column file ``name`` inside the live generation directory."""
+    manifest = live_manifest(root)
+    return Path(root) / manifest["directory"] / name
+
+
+def corrupt_manifest_crc(root: str | Path, name: str) -> None:
+    """Flip bits in the checksum the manifest stores for ``name``."""
+    mpath = Path(root) / "manifest.json"
+    manifest = json.loads(mpath.read_text())
+    manifest["files"][name]["crc32"] ^= 0xFFFF
+    mpath.write_text(json.dumps(manifest))

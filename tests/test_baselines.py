@@ -3,7 +3,6 @@ equivalence with the column-store engine (all four must agree)."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
