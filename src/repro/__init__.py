@@ -39,6 +39,7 @@ from .core import (
     register_function,
 )
 from .columnstore import Bitmap, IOStats, MasterRelation
+from .exec import BitmapCache, CacheStats, QueryExecutor
 from .advisor import AdaptiveViewAdvisor
 from .dsl import QuerySyntaxError, parse_aggregation, parse_query
 from .errors import (
@@ -65,6 +66,9 @@ __all__ = [
     "AndNot",
     "AdaptiveViewAdvisor",
     "Bitmap",
+    "BitmapCache",
+    "CacheStats",
+    "QueryExecutor",
     "CorruptionError",
     "IngestError",
     "ManifestError",

@@ -6,6 +6,8 @@ Commands:
   directory (the on-disk column store);
 * ``query`` — run a DSL query against a persisted relation;
 * ``aggregate`` — run a DSL path-aggregation query;
+* ``batch`` — serve a file of DSL queries concurrently (``--jobs``) with a
+  shared bitmap-conjunction cache (``--cache-mb``);
 * ``stats`` — show a persisted relation's shape and footprint;
 * ``demo`` — build a small synthetic corpus and run a sample session.
 
@@ -14,6 +16,7 @@ Examples::
     python -m repro load records.jsonl ./db
     python -m repro query ./db "A -> D -> E"
     python -m repro aggregate ./db "SUM A -> D -> E"
+    python -m repro batch ./db queries.txt --jobs 4 --cache-mb 64
     python -m repro stats ./db
 """
 
@@ -28,6 +31,7 @@ from .columnstore import relation_disk_usage
 from .core import GraphAnalyticsEngine
 from .dsl import parse_aggregation, parse_query
 from .errors import ReproError
+from .exec import QueryExecutor
 from .io import QuarantineReport, read_csv_triplets, read_jsonl
 
 __all__ = ["main"]
@@ -35,6 +39,12 @@ __all__ = ["main"]
 
 def _load_engine(directory: FsPath) -> GraphAnalyticsEngine:
     return GraphAnalyticsEngine.load(directory)
+
+
+def _executor_for(args: argparse.Namespace, engine: GraphAnalyticsEngine) -> QueryExecutor:
+    return QueryExecutor(
+        engine, jobs=getattr(args, "jobs", 1), cache_mb=getattr(args, "cache_mb", 0)
+    )
 
 
 def _cmd_load(args: argparse.Namespace) -> int:
@@ -73,7 +83,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     engine = _load_engine(FsPath(args.database))
     expr = parse_query(args.query)
-    result = engine.query(expr, fetch_measures=not args.ids_only)
+    with _executor_for(args, engine) as executor:
+        result = executor.run_one(expr, fetch_measures=not args.ids_only)
     print(f"{len(result)} matching records")
     limit = args.limit if args.limit else len(result)
     for i, record_id in enumerate(result.record_ids[:limit]):
@@ -94,13 +105,67 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_aggregate(args: argparse.Namespace) -> int:
     engine = _load_engine(FsPath(args.database))
     query = parse_aggregation(args.query)
-    result = engine.aggregate(query)
+    with _executor_for(args, engine) as executor:
+        result = executor.run_one(query)
     print(f"{len(result)} matching records")
     limit = args.limit if args.limit else len(result)
     for path, values in result.path_values.items():
         print(f"path {path}:")
         for record_id, value in list(zip(result.record_ids, values))[:limit]:
             print(f"  {record_id}: {value:g}")
+    return 0
+
+
+def _parse_workload_line(line: str):
+    """One DSL line: a path-aggregation when it leads with a registered
+    aggregate function name, a graph query otherwise."""
+    from .core.aggregates import FUNCTIONS
+
+    head = line.split(maxsplit=1)[0].lower()
+    if head in FUNCTIONS:
+        return parse_aggregation(line)
+    return parse_query(line)
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Serve a file of DSL queries (one per line, ``#`` comments) through
+    the concurrent executor and report throughput + cache efficiency."""
+    import time
+
+    lines = [
+        stripped
+        for raw in FsPath(args.queries).read_text().splitlines()
+        if (stripped := raw.strip()) and not stripped.startswith("#")
+    ]
+    workload = [_parse_workload_line(line) for line in lines]
+    engine = _load_engine(FsPath(args.database))
+    engine.reset_stats()
+    with _executor_for(args, engine) as executor:
+        started = time.perf_counter()
+        results = list(
+            executor.serve(
+                workload, batch_size=args.batch_size, fetch_measures=False
+            )
+        )
+        elapsed = time.perf_counter() - started
+    for line, result in zip(lines, results):
+        print(f"{len(result):6d}  {line}")
+    stats = engine.stats
+    rate = len(results) / elapsed if elapsed else float("inf")
+    print(
+        f"served {len(results)} queries in {elapsed:.3f}s "
+        f"({rate:.0f} q/s, jobs={args.jobs})",
+        file=sys.stderr,
+    )
+    if executor.cache is not None:
+        print(
+            f"conjunction cache: {stats.cache_hits} hits / "
+            f"{stats.conjunctions_requested()} requests "
+            f"({100 * stats.cache_hit_rate():.0f}%), "
+            f"{stats.cache_evictions} evictions, "
+            f"{executor.cache.current_bytes() / 1e6:.2f} MB held",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -170,18 +235,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_load.set_defaults(func=_cmd_load)
 
+    def add_serving_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker threads for query evaluation (default 1)",
+        )
+        p.add_argument(
+            "--cache-mb", type=float, default=0, metavar="MB",
+            help="bitmap-conjunction cache budget in MB (0 = off)",
+        )
+
     p_query = sub.add_parser("query", help="run a DSL graph query")
     p_query.add_argument("database")
     p_query.add_argument("query", help="e.g. \"A -> D -> E\" or \"{(C,H)} OR {(F,J)}\"")
     p_query.add_argument("--limit", type=int, default=20)
     p_query.add_argument("--ids-only", action="store_true")
+    add_serving_flags(p_query)
     p_query.set_defaults(func=_cmd_query)
 
     p_agg = sub.add_parser("aggregate", help="run a DSL path-aggregation query")
     p_agg.add_argument("database")
     p_agg.add_argument("query", help='e.g. "SUM A -> D -> E"')
     p_agg.add_argument("--limit", type=int, default=20)
+    add_serving_flags(p_agg)
     p_agg.set_defaults(func=_cmd_aggregate)
+
+    p_batch = sub.add_parser(
+        "batch", help="serve a file of DSL queries concurrently"
+    )
+    p_batch.add_argument("database")
+    p_batch.add_argument(
+        "queries",
+        help="text file: one DSL query per line (graph or aggregation); "
+             "# comments and blank lines are skipped",
+    )
+    p_batch.add_argument(
+        "--batch-size", type=int, default=64,
+        help="queries per scheduling batch (default 64)",
+    )
+    add_serving_flags(p_batch)
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_stats = sub.add_parser("stats", help="show a database's shape and size")
     p_stats.add_argument("database")

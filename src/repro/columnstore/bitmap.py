@@ -15,6 +15,7 @@ same calculations.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Iterator
 
 import numpy as np
@@ -24,6 +25,10 @@ __all__ = ["Bitmap", "BitmapBuilder"]
 _WORD_BITS = 64
 # Lookup table: popcount of every byte value, used to count set bits fast.
 _POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint64)
+# numpy >= 2.0 exposes the hardware popcount instruction directly; keep the
+# byte-LUT as the portable fallback (and as the reference for regression
+# tests pinning the two paths to each other).
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 
 
 def _words_needed(length: int) -> int:
@@ -39,12 +44,13 @@ class Bitmap:
     of the master relation share one length.
     """
 
-    __slots__ = ("_words", "_length")
+    __slots__ = ("_words", "_length", "_ckey")
 
     def __init__(self, length: int, words: np.ndarray | None = None):
         if length < 0:
             raise ValueError(f"bitmap length must be >= 0, got {length}")
         self._length = length
+        self._ckey: tuple[int, bytes] | None = None
         n_words = _words_needed(length)
         if words is None:
             self._words = np.zeros(n_words, dtype=np.uint64)
@@ -136,7 +142,25 @@ class Bitmap:
         )
 
     def __hash__(self) -> int:
-        return hash((self._length, self._words.tobytes()))
+        return hash(self.content_key())
+
+    def content_key(self) -> tuple[int, bytes]:
+        """Cheap content identity: ``(length, digest of the packed words)``.
+
+        Two bitmaps compare equal iff their content keys are equal (modulo
+        the astronomically unlikely digest collision), so caches can dedupe
+        stored bitmaps without holding the words themselves.  Computed once
+        and memoized — bitmaps are value objects, never mutated after
+        construction.
+        """
+        key = self._ckey
+        if key is None:
+            digest = hashlib.blake2b(
+                self._words.tobytes(), digest_size=16, salt=b"bitmap"
+            ).digest()
+            key = (self._length, digest)
+            self._ckey = key
+        return key
 
     def __repr__(self) -> str:
         shown = list(self.iter_indices())
@@ -207,7 +231,18 @@ class Bitmap:
     # -- queries -----------------------------------------------------------
 
     def count(self) -> int:
-        """Number of set bits (cardinality of the answer set)."""
+        """Number of set bits (cardinality of the answer set).
+
+        Uses ``np.bitwise_count`` (hardware POPCNT) on numpy >= 2.0 and the
+        byte-LUT fallback otherwise; both paths are pinned to each other by
+        a regression test.
+        """
+        if _HAS_BITWISE_COUNT:
+            return int(np.bitwise_count(self._words).sum())
+        return self._count_lut()
+
+    def _count_lut(self) -> int:
+        """Portable byte-LUT popcount (the numpy < 2.0 path)."""
         as_bytes = self._words.view(np.uint8)
         return int(_POPCOUNT8[as_bytes].sum())
 

@@ -8,13 +8,18 @@ columns/values fetched.  The view-selection benefit function and the
 experiment breakdowns (Figures 6–8 split "fetch measures" from "rest of
 query") are stated in those units.
 
-``IOStats`` counts exactly those quantities.  The master relation reports
-every column touch to the currently installed collector, so benchmarks can
-report both wall-clock time and model cost.
+``IOStats`` counts exactly those quantities, plus the serving-layer
+counters added with the concurrent executor: bitmap-conjunction cache
+hits/misses/evictions and batch/parallel-task tallies.  The master relation
+reports every column touch to the currently installed collector, so
+benchmarks can report both wall-clock time and model cost.  The collector
+serializes its increments behind a lock because the executor fans queries
+out over a thread pool.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["IOStats", "IOStatsCollector"]
@@ -30,6 +35,12 @@ class IOStats:
     view_bitmaps_fetched: int = 0
     view_measure_columns_fetched: int = 0
     partitions_joined: int = 0
+    # Serving-layer counters (bitmap-conjunction cache + parallel executor).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    batches_served: int = 0
+    parallel_tasks: int = 0
 
     def total_columns_fetched(self) -> int:
         """The paper's cost unit: total columns retrieved from disk."""
@@ -50,6 +61,17 @@ class IOStats:
         the Figures 6–7 breakdown)."""
         return self.measure_columns_fetched + self.view_measure_columns_fetched
 
+    def conjunctions_requested(self) -> int:
+        """Bitmap conjunctions asked of the cache; every request is exactly
+        one hit or one miss, so this always equals ``hits + misses``."""
+        return self.cache_hits + self.cache_misses
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of conjunction requests served from cache (0.0 when the
+        cache was never consulted)."""
+        requested = self.conjunctions_requested()
+        return self.cache_hits / requested if requested else 0.0
+
     def add(self, other: "IOStats") -> None:
         self.bitmap_columns_fetched += other.bitmap_columns_fetched
         self.measure_columns_fetched += other.measure_columns_fetched
@@ -57,30 +79,66 @@ class IOStats:
         self.view_bitmaps_fetched += other.view_bitmaps_fetched
         self.view_measure_columns_fetched += other.view_measure_columns_fetched
         self.partitions_joined += other.partitions_joined
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
+        self.batches_served += other.batches_served
+        self.parallel_tasks += other.parallel_tasks
 
 
 @dataclass
 class IOStatsCollector:
-    """Accumulates :class:`IOStats` across queries; usable as a context."""
+    """Accumulates :class:`IOStats` across queries; usable as a context.
+
+    Increments are lock-protected: the parallel executor issues queries from
+    multiple threads against one engine (and thus one collector), and
+    ``count += 1`` is a read-modify-write that would drop updates otherwise.
+    """
 
     stats: IOStats = field(default_factory=IOStats)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def reset(self) -> None:
-        self.stats = IOStats()
+        with self._lock:
+            self.stats = IOStats()
 
     def record_bitmap_fetch(self, is_view: bool = False) -> None:
-        if is_view:
-            self.stats.view_bitmaps_fetched += 1
-        else:
-            self.stats.bitmap_columns_fetched += 1
+        with self._lock:
+            if is_view:
+                self.stats.view_bitmaps_fetched += 1
+            else:
+                self.stats.bitmap_columns_fetched += 1
 
     def record_measure_fetch(self, n_values: int, is_view: bool = False) -> None:
-        if is_view:
-            self.stats.view_measure_columns_fetched += 1
-        else:
-            self.stats.measure_columns_fetched += 1
-        self.stats.measure_values_fetched += n_values
+        with self._lock:
+            if is_view:
+                self.stats.view_measure_columns_fetched += 1
+            else:
+                self.stats.measure_columns_fetched += 1
+            self.stats.measure_values_fetched += n_values
 
     def record_partition_join(self, n_partitions: int) -> None:
-        if n_partitions > 1:
-            self.stats.partitions_joined += n_partitions
+        with self._lock:
+            if n_partitions > 1:
+                self.stats.partitions_joined += n_partitions
+
+    # -- serving-layer counters ---------------------------------------------
+
+    def record_cache_hit(self) -> None:
+        with self._lock:
+            self.stats.cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        with self._lock:
+            self.stats.cache_misses += 1
+
+    def record_cache_eviction(self, n: int = 1) -> None:
+        with self._lock:
+            self.stats.cache_evictions += n
+
+    def record_batch(self, n_tasks: int) -> None:
+        with self._lock:
+            self.stats.batches_served += 1
+            self.stats.parallel_tasks += n_tasks

@@ -145,7 +145,11 @@ class MasterRelation:
 
     def _materialize_column(self, edge_id: int) -> MeasureColumn:
         column = self._columns.get(edge_id)
-        if column is not None:
+        # A cached column is only valid while the relation hasn't grown:
+        # appending a record that lacks this element leaves the cached
+        # entry untouched but one bit short, so length-check rather than
+        # trusting presence.
+        if column is not None and len(column) == self._n_records:
             return column
         rows = self._pending_rows.get(edge_id)
         if rows is None:

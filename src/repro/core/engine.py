@@ -46,7 +46,9 @@ from .query import And, AndNot, GraphQuery, Or, PathAggregationQuery, QueryExpr
 from .record import Edge, GraphRecord
 from .rewrite import (
     AggregationPlan,
+    ConjunctionPart,
     GraphQueryPlan,
+    canonical_parts,
     plan_aggregation,
     plan_graph_query,
     prune_unavailable_views,
@@ -71,6 +73,7 @@ class GraphQueryResult:
     record_ids: list
     measures: dict[Edge, np.ndarray]
     plan: GraphQueryPlan | None = None
+    epoch: int | None = None
 
     def __len__(self) -> int:
         return int(self.rows.size)
@@ -89,6 +92,7 @@ class PathAggregationResult:
     record_ids: list
     path_values: dict[Path, np.ndarray]
     plan: AggregationPlan | None = None
+    epoch: int | None = None
 
     def __len__(self) -> int:
         return int(self.rows.size)
@@ -123,6 +127,14 @@ class GraphAnalyticsEngine:
         # — the common case in the paper's workloads — plan once.
         self._views_epoch = 0
         self._plan_cache: dict = {}
+        # State epoch: bumps on every data or view mutation.  Cached
+        # structural bitmaps are keyed on it, so concurrent readers can
+        # never be served a conjunction computed against an older state.
+        self._epoch = 0
+        # Optional shared bitmap-conjunction cache (see repro.exec.cache),
+        # installed by use_bitmap_cache(); None keeps the original
+        # uncached evaluation path.
+        self._bitmap_cache = None
 
     # -- loading ------------------------------------------------------------
 
@@ -156,6 +168,7 @@ class GraphAnalyticsEngine:
             self._measured_nodes.update(record.measured_nodes())
             count += 1
         self._plan_cache.clear()
+        self._bump_epoch()
         return count
 
     def append_records(self, records: Iterable[GraphRecord]) -> int:
@@ -187,6 +200,10 @@ class GraphAnalyticsEngine:
                     else:
                         cells.append(None)
                 self.relation.extend_aggregate_view(f"{name}:{stored_fn}", cells)
+        # load_records() already bumped the epoch, but the view extensions
+        # above changed bitmap contents again; bump once more so nothing
+        # cached between the two phases can ever be served.
+        self._bump_epoch()
         return loaded
 
     def load_columnar(
@@ -210,6 +227,7 @@ class GraphAnalyticsEngine:
             if edge[0] == edge[1]:
                 self._measured_nodes.add(edge[0])
         self._plan_cache.clear()
+        self._bump_epoch()
 
     def record_ids_at(self, rows: np.ndarray) -> list:
         return [self._record_ids[i] for i in np.asarray(rows, dtype=np.int64)]
@@ -404,6 +422,35 @@ class GraphAnalyticsEngine:
     def _bump_views_epoch(self) -> None:
         self._views_epoch += 1
         self._plan_cache.clear()
+        self._bump_epoch()
+
+    def _bump_epoch(self) -> None:
+        """Advance the state epoch after any data/view mutation.
+
+        The bitmap-conjunction cache keys on the epoch, so bumping it
+        atomically invalidates every cached intermediate; stale entries are
+        also proactively dropped to free their budget.
+        """
+        self._epoch += 1
+        if self._bitmap_cache is not None:
+            self._bitmap_cache.drop_stale(self._epoch)
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic state epoch: bumps on every append/load/view change."""
+        return self._epoch
+
+    @property
+    def bitmap_cache(self):
+        return self._bitmap_cache
+
+    def use_bitmap_cache(self, cache) -> None:
+        """Install (or with ``None`` remove) a shared bitmap-conjunction
+        cache (:class:`repro.exec.BitmapCache`); its hit/miss/eviction
+        traffic is reported to this engine's stats collector."""
+        self._bitmap_cache = cache
+        if cache is not None:
+            cache.collector = self.collector
 
     def plan_query(self, query: GraphQuery) -> GraphQueryPlan:
         """The rewrite chosen for ``query`` given current views (§5.3)."""
@@ -414,19 +461,93 @@ class GraphAnalyticsEngine:
             self._plan_cache[key] = plan
         return plan
 
-    def _structural_bitmap(self, query: GraphQuery) -> tuple[Bitmap, GraphQueryPlan]:
-        plan = self.plan_query(query)
-        bitmaps: list[Bitmap] = []
-        for name in plan.view_names:
-            bitmaps.append(self.relation.view_bitmap(name))
+    def _fetch_part(self, part: ConjunctionPart) -> Bitmap:
+        """Fetch one conjunction input's bitmap column (counted as I/O)."""
+        if part.kind == "element":
+            return self.relation.bitmap(self.catalog.get_id(part.token))
+        if part.kind == "graph-view":
+            return self.relation.view_bitmap(part.token)
+        return self.relation.aggregate_view_bitmap(part.token)
+
+    @staticmethod
+    def _prefix_keys(parts: list[ConjunctionPart]) -> list[frozenset[Edge]]:
+        """Cumulative covered edge-sets, one per canonical-order prefix.
+
+        These are the conjunction cache keys.  Building them is O(k^2) in
+        query size, so callers memoize the result alongside the plan —
+        repeated queries then pay a single cached-hash dict lookup.
+        """
+        keys: list[frozenset[Edge]] = []
+        covered: frozenset[Edge] = frozenset()
+        for part in parts:
+            covered = covered | part.covered
+            keys.append(covered)
+        return keys
+
+    def _conjunction(
+        self,
+        parts: list[ConjunctionPart],
+        keys: list[frozenset[Edge]],
+    ) -> Bitmap:
+        """AND the parts' bitmaps, memoizing intermediates when a cache is
+        installed.
+
+        Cached entries are keyed on ``(epoch, cumulative covered edge-set)``
+        — well-defined because every part's bitmap equals the AND of its
+        covered elements' base bitmaps.  Evaluation folds left in canonical
+        part order, looking up each running prefix, so overlapping queries
+        (ordered together by the executor) extend each other's cached
+        prefixes instead of recomputing from scratch.
+        """
+        cache = self._bitmap_cache
+        if cache is None or any(not part.covered for part in parts):
+            return Bitmap.and_all(self._fetch_part(part) for part in parts)
+        epoch = self._epoch
+
+        def build(i: int) -> Bitmap:
+            def compute() -> Bitmap:
+                bitmap = self._fetch_part(parts[i])
+                return bitmap if i == 0 else build(i - 1) & bitmap
+
+            return cache.get_or_compute(epoch, keys[i], compute)
+
+        return build(len(parts) - 1)
+
+    def _graph_query_parts(
+        self, plan: GraphQueryPlan
+    ) -> list[ConjunctionPart] | None:
+        """Conjunction inputs for a graph-query plan, canonically ordered;
+        None when a residual element has no column (empty answer)."""
+        parts = [
+            ConjunctionPart("graph-view", name, self._graph_views[name].elements)
+            for name in plan.view_names
+        ]
         for element in plan.residual_elements:
             edge_id = self.catalog.get_id(element)
             if edge_id is None or not self.relation.has_element(edge_id):
-                return self._empty_bitmap(), plan
-            bitmaps.append(self.relation.bitmap(edge_id))
-        if not bitmaps:
+                return None
+            parts.append(ConjunctionPart("element", element, frozenset((element,))))
+        return canonical_parts(parts)
+
+    def _graph_conjunction_inputs(self, query: GraphQuery):
+        """(plan, parts, prefix keys) for ``query``, memoized in the plan
+        cache — safe because the plan cache is cleared on *every* mutation
+        (loads, appends, and view changes all invalidate it)."""
+        key = ("graph-parts", query)
+        cached = self._plan_cache.get(key)
+        if cached is None:
+            plan = self.plan_query(query)
+            parts = self._graph_query_parts(plan)
+            keys = self._prefix_keys(parts) if parts else None
+            cached = (plan, parts, keys)
+            self._plan_cache[key] = cached
+        return cached
+
+    def _structural_bitmap(self, query: GraphQuery) -> tuple[Bitmap, GraphQueryPlan]:
+        plan, parts, keys = self._graph_conjunction_inputs(query)
+        if not parts:
             return self._empty_bitmap(), plan
-        return Bitmap.and_all(bitmaps), plan
+        return self._conjunction(parts, keys), plan
 
     def evaluate(self, expr: QueryExpr) -> Bitmap:
         """Evaluate a boolean combination of graph queries to a bitmap.
@@ -488,6 +609,7 @@ class GraphAnalyticsEngine:
             record_ids=self.record_ids_at(rows),
             measures=measures,
             plan=plan,
+            epoch=self._epoch,
         )
 
     # -- path aggregation ---------------------------------------------------------------
@@ -504,6 +626,46 @@ class GraphAnalyticsEngine:
             )
             self._plan_cache[key] = plan
         return plan
+
+    def _aggregation_parts(
+        self, plan: AggregationPlan
+    ) -> list[ConjunctionPart] | None:
+        """Conjunction inputs for an aggregation plan's structural condition;
+        None when a residual element has no column (empty answer)."""
+        measured = frozenset(self._measured_nodes)
+        parts = []
+        for name in plan.structural_agg_view_names:
+            view = self._agg_views[name]
+            parts.append(
+                ConjunctionPart(
+                    "agg-view",
+                    view.column_names()[0],
+                    frozenset(view.elements(measured)),
+                )
+            )
+        for name in plan.structural_view_names:
+            parts.append(
+                ConjunctionPart("graph-view", name, self._graph_views[name].elements)
+            )
+        for element in plan.residual_elements:
+            edge_id = self.catalog.get_id(element)
+            if edge_id is None or not self.relation.has_element(edge_id):
+                return None
+            parts.append(ConjunctionPart("element", element, frozenset((element,))))
+        return canonical_parts(parts)
+
+    def _aggregation_conjunction_inputs(self, query: PathAggregationQuery):
+        """(plan, parts, prefix keys) for ``query``, memoized like
+        :meth:`_graph_conjunction_inputs`."""
+        key = ("agg-parts", query)
+        cached = self._plan_cache.get(key)
+        if cached is None:
+            plan = self.plan_aggregation(query)
+            parts = self._aggregation_parts(plan)
+            keys = self._prefix_keys(parts) if parts else None
+            cached = (plan, parts, keys)
+            self._plan_cache[key] = cached
+        return cached
 
     def _segment_partial(
         self,
@@ -532,26 +694,11 @@ class GraphAnalyticsEngine:
     def aggregate(self, query: PathAggregationQuery) -> PathAggregationResult:
         """Answer ``F_Gq``: per matching record, apply the aggregate along
         every maximal source→terminal path of the query graph (§3.4)."""
-        plan = self.plan_aggregation(query)
-        bitmaps: list[Bitmap] = []
-        for name in plan.structural_agg_view_names:
-            view = self._agg_views[name]
-            bitmaps.append(
-                self.relation.aggregate_view_bitmap(view.column_names()[0])
-            )
-        for name in plan.structural_view_names:
-            bitmaps.append(self.relation.view_bitmap(name))
-        empty = False
-        for element in plan.residual_elements:
-            edge_id = self.catalog.get_id(element)
-            if edge_id is None or not self.relation.has_element(edge_id):
-                empty = True
-                break
-            bitmaps.append(self.relation.bitmap(edge_id))
-        if empty or not bitmaps:
+        plan, parts, keys = self._aggregation_conjunction_inputs(query)
+        if not parts:
             rows = np.empty(0, dtype=np.int64)
         else:
-            rows = Bitmap.and_all(bitmaps).to_indices()
+            rows = self._conjunction(parts, keys).to_indices()
 
         function = get_function(query.function)
         needed = (
@@ -593,6 +740,7 @@ class GraphAnalyticsEngine:
             record_ids=self.record_ids_at(rows),
             path_values=path_values,
             plan=plan,
+            epoch=self._epoch,
         )
 
     # -- materialization ---------------------------------------------------------------

@@ -30,6 +30,8 @@ __all__ = [
     "PathSegment",
     "PathPlan",
     "AggregationPlan",
+    "ConjunctionPart",
+    "canonical_parts",
     "plan_graph_query",
     "prune_unavailable_views",
     "tile_path",
@@ -70,6 +72,52 @@ def prune_unavailable_views(
         del agg_views[name]
         dropped.append(name)
     return dropped
+
+
+@dataclass(frozen=True)
+class ConjunctionPart:
+    """One input of a structural bitmap conjunction.
+
+    ``kind`` names the bitmap column to fetch — ``"element"`` (a base
+    ``b_i``), ``"graph-view"`` (``bv_j``), or ``"agg-view"`` (``bp_l``) —
+    ``token`` identifies it (the edge, or the view/column name), and
+    ``covered`` is the set of query elements whose containment the bitmap
+    certifies.  A part's bitmap always equals the AND of the base bitmaps
+    of its covered elements, which is what lets the conjunction cache key
+    intermediate results on *covered edge-sets* alone: two plans that reach
+    the same covered set through different parts (views vs raw bitmaps)
+    produce bit-identical intermediates.
+    """
+
+    kind: str
+    token: object
+    covered: frozenset[Edge]
+
+    def sort_key(self) -> tuple:
+        return (tuple(sorted(map(repr, self.covered))), self.kind, repr(self.token))
+
+
+def canonical_parts(parts: Sequence[ConjunctionPart]) -> list[ConjunctionPart]:
+    """Deterministic evaluation order for a conjunction's parts.
+
+    Sorting by covered edge-set makes queries that share elements share a
+    *prefix* of cumulative covered sets, so the conjunction cache can reuse
+    intermediate bitmaps across queries (and across a query and the
+    rewriter's partial covers).  Parts whose coverage is already implied by
+    the accumulated prefix are dropped: their bitmap is a superset of the
+    running conjunction, so ANDing it is a no-op.
+    """
+    ordered = sorted(parts, key=ConjunctionPart.sort_key)
+    out: list[ConjunctionPart] = []
+    covered: set[Edge] = set()
+    for part in ordered:
+        # Keep parts with an empty covered set (they constrain without
+        # covering, so the subset rule does not apply to them).
+        if part.covered and part.covered <= covered:
+            continue
+        covered |= part.covered
+        out.append(part)
+    return out
 
 
 @dataclass

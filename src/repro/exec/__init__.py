@@ -1,0 +1,14 @@
+"""Concurrent query serving: shared conjunction cache + batch executor.
+
+The serving layer on top of the paper's engine: :class:`BitmapCache`
+memoizes intermediate bitmap conjunctions across queries (keyed on
+canonical covered edge-sets plus the engine's state epoch), and
+:class:`QueryExecutor` fans query batches/streams out over a thread pool
+with cache-affinity ordering and reader/writer isolation against
+concurrent appends and view changes.
+"""
+
+from .cache import BitmapCache, CacheStats
+from .executor import QueryExecutor
+
+__all__ = ["BitmapCache", "CacheStats", "QueryExecutor"]

@@ -1,0 +1,238 @@
+"""Shared bitmap-conjunction cache for the serving layer.
+
+The paper reduces graph-query evaluation to bitmap ANDs (Section 4.2) and
+shows that sharing common conjunctions via materialized views multiplies
+throughput (Section 5.1).  :class:`BitmapCache` applies the same idea at
+*runtime*: intermediate conjunction results are memoized under a byte
+budget, keyed on the canonical frozen edge-set they certify plus the
+engine's state epoch, so overlapping queries in a workload (and the
+rewriter's partial covers) reuse each other's work instead of re-ANDing
+the same columns.
+
+Keying on covered edge-sets is sound because every conjunction input — a
+base ``b_i`` bitmap, a graph-view ``bv_j``, or an aggregate-view ``bp_l``
+— equals the AND of the base bitmaps of the elements it covers, so any
+two evaluation orders (or view decompositions) of the same covered set
+produce bit-identical results.  Keying on the epoch makes invalidation
+trivial and race-free: writers bump the engine epoch, after which stale
+entries can never match a lookup again (they are also proactively dropped
+to release budget).
+
+Stored bitmaps are deduplicated through :meth:`Bitmap.content_key`: when
+two cache keys map to bit-identical results (common for nested prefixes
+that add non-selective elements), one packed array backs both entries and
+the byte budget is charged once.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..columnstore.bitmap import Bitmap
+from ..columnstore.iostats import IOStatsCollector
+from ..core.record import Edge
+
+__all__ = ["BitmapCache", "CacheStats"]
+
+CacheKey = tuple[int, frozenset]
+
+
+@dataclass
+class CacheStats:
+    """Point-in-time counters of one :class:`BitmapCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    entries: int = 0
+    unique_bitmaps: int = 0
+    bytes_cached: int = 0
+
+    def requests(self) -> int:
+        """Conjunction lookups; always exactly ``hits + misses``."""
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        requested = self.requests()
+        return self.hits / requested if requested else 0.0
+
+
+class BitmapCache:
+    """Thread-safe LRU of bitmap conjunctions with byte-budget accounting.
+
+    ``budget_bytes`` bounds the *deduplicated* storage of the cached
+    bitmaps; inserting past the budget evicts least-recently-used entries
+    until it holds again (an entry larger than the whole budget is not
+    retained at all).  An optional :class:`IOStatsCollector` — installed
+    automatically by :meth:`GraphAnalyticsEngine.use_bitmap_cache` — mirrors
+    hit/miss/eviction traffic into the engine's query stats.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int = 64 << 20,
+        collector: IOStatsCollector | None = None,
+    ):
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0")
+        self.budget_bytes = budget_bytes
+        self.collector = collector
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, Bitmap] = OrderedDict()
+        # Content-key interning: digest -> [bitmap, number of cache entries
+        # sharing it].  bytes_cached charges each unique bitmap once.
+        self._interned: dict[tuple, list] = {}
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # -- core operation ------------------------------------------------------
+
+    def get_or_compute(
+        self,
+        epoch: int,
+        elements: frozenset[Edge],
+        compute: Callable[[], Bitmap],
+    ) -> Bitmap:
+        """Return the conjunction bitmap for ``elements`` at ``epoch``,
+        computing and caching it on a miss.
+
+        ``compute`` runs outside the cache lock, so it may recurse into the
+        cache (the engine memoizes every prefix of a conjunction this way).
+        Concurrent misses on the same key may both compute; the last insert
+        wins and both callers get correct bitmaps.
+        """
+        key = (epoch, elements)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        if cached is not None:
+            if self.collector is not None:
+                self.collector.record_cache_hit()
+            return cached
+        with self._lock:
+            self._misses += 1
+        if self.collector is not None:
+            self.collector.record_cache_miss()
+        bitmap = compute()
+        self._insert(key, bitmap)
+        return bitmap
+
+    def lookup(self, epoch: int, elements: frozenset[Edge]) -> Bitmap | None:
+        """Probe without computing (still counted as a hit or miss)."""
+        key = (epoch, elements)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+            else:
+                self._misses += 1
+        if self.collector is not None:
+            if cached is not None:
+                self.collector.record_cache_hit()
+            else:
+                self.collector.record_cache_miss()
+        return cached
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _retain(self, bitmap: Bitmap) -> Bitmap:
+        """Intern ``bitmap`` by content, charging unique storage once."""
+        ckey = bitmap.content_key()
+        slot = self._interned.get(ckey)
+        if slot is not None:
+            slot[1] += 1
+            return slot[0]
+        self._interned[ckey] = [bitmap, 1]
+        self._bytes += bitmap.nbytes()
+        return bitmap
+
+    def _release(self, bitmap: Bitmap) -> None:
+        ckey = bitmap.content_key()
+        slot = self._interned.get(ckey)
+        if slot is None:  # pragma: no cover - defensive
+            return
+        slot[1] -= 1
+        if slot[1] == 0:
+            del self._interned[ckey]
+            self._bytes -= bitmap.nbytes()
+
+    def _insert(self, key: CacheKey, bitmap: Bitmap) -> None:
+        evicted = 0
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._release(previous)
+            self._entries[key] = self._retain(bitmap)
+            while self._bytes > self.budget_bytes and self._entries:
+                _, victim = self._entries.popitem(last=False)
+                self._release(victim)
+                evicted += 1
+        if evicted:
+            self._evictions_add(evicted)
+
+    def _evictions_add(self, n: int) -> None:
+        with self._lock:
+            self._evictions += n
+        if self.collector is not None:
+            self.collector.record_cache_eviction(n)
+
+    # -- invalidation --------------------------------------------------------
+
+    def drop_stale(self, current_epoch: int) -> int:
+        """Drop every entry from an epoch other than ``current_epoch``.
+
+        Correctness never depends on this — stale epochs cannot match a
+        lookup — but dead entries would squat on the byte budget until LRU
+        churn clears them.  Returns the number of entries dropped.
+        """
+        with self._lock:
+            stale = [k for k in self._entries if k[0] != current_epoch]
+            for key in stale:
+                self._release(self._entries.pop(key))
+            self._invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._interned.clear()
+            self._bytes = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def current_bytes(self) -> int:
+        """Deduplicated bytes currently held (always <= budget_bytes)."""
+        with self._lock:
+            return self._bytes
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                entries=len(self._entries),
+                unique_bitmaps=len(self._interned),
+                bytes_cached=self._bytes,
+            )
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits = self._misses = 0
+            self._evictions = self._invalidations = 0

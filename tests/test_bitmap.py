@@ -286,3 +286,74 @@ class TestProperties:
         b = Bitmap.from_indices(length, [i for i in range(length) if i % 3 == 0])
         assert ~(a & b) == (~a | ~b)
         assert ~(a | b) == (~a & ~b)
+
+
+class TestPopcountPaths:
+    """``count()`` uses ``np.bitwise_count`` on numpy >= 2.0 and a byte
+    LUT otherwise; both paths must agree bit-for-bit."""
+
+    def test_fast_path_selected_on_modern_numpy(self):
+        import numpy as np
+
+        from repro.columnstore.bitmap import _HAS_BITWISE_COUNT
+
+        assert _HAS_BITWISE_COUNT == hasattr(np, "bitwise_count")
+
+    @given(index_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_lut_fallback_matches_count(self, pair):
+        length, indices = pair
+        bm = Bitmap.from_indices(length, indices)
+        assert bm.count() == bm._count_lut() == len(indices)
+
+    def test_paths_agree_on_random_words(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            length = int(rng.integers(1, 500))
+            indices = sorted(
+                set(rng.integers(0, length, size=length // 2).tolist())
+            )
+            bm = Bitmap.from_indices(length, indices)
+            assert bm.count() == bm._count_lut()
+
+    def test_paths_agree_on_edge_patterns(self):
+        for bm in (
+            Bitmap.zeros(1),
+            Bitmap.ones(1),
+            Bitmap.zeros(64),
+            Bitmap.ones(64),
+            Bitmap.ones(65),
+            Bitmap.ones(640),
+        ):
+            assert bm.count() == bm._count_lut()
+
+
+class TestContentKey:
+    def test_equal_bitmaps_share_key(self):
+        a = Bitmap.from_indices(100, [1, 5, 99])
+        b = Bitmap.from_indices(100, [1, 5, 99])
+        assert a is not b
+        assert a.content_key() == b.content_key()
+
+    def test_different_bits_different_key(self):
+        a = Bitmap.from_indices(100, [1, 5, 99])
+        b = Bitmap.from_indices(100, [1, 5, 98])
+        assert a.content_key() != b.content_key()
+
+    def test_length_disambiguates_same_words(self):
+        # Same packed words, different logical lengths.
+        a = Bitmap.from_indices(10, [1])
+        b = Bitmap.from_indices(20, [1])
+        assert a.content_key() != b.content_key()
+
+    def test_key_is_memoized(self):
+        bm = Bitmap.from_indices(64, [3])
+        assert bm.content_key() is bm.content_key()
+
+    def test_hash_consistent_with_equality(self):
+        a = Bitmap.from_indices(100, [1, 5])
+        b = Bitmap.from_indices(100, [1, 5])
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1

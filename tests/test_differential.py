@@ -1,0 +1,300 @@
+"""Differential harness: the serving layer must never change an answer.
+
+Every configuration of the concurrent executor — cache on/off, 1 or 4
+worker threads, views materialized or dropped — is run over the same
+random corpus and workload and compared bit-for-bit against the
+:class:`RowStore` reference (the paper's system (i), which shares no code
+with the bitmap engine).  The systems differ in speed, never in
+semantics; any divergence is a bug in the engine, the rewriter, the
+cache, or the executor.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import RowStore
+from repro.core import (
+    GraphAnalyticsEngine,
+    GraphQuery,
+    GraphRecord,
+    PathAggregationQuery,
+)
+from repro.exec import BitmapCache, QueryExecutor
+from repro.workloads import (
+    as_aggregate_queries,
+    build_dataset,
+    sample_dense_queries,
+    sample_path_queries,
+)
+
+N_RECORDS = 120
+AGG_FUNCTIONS = ["sum", "min", "max", "count", "avg"]
+
+CONFIGS = list(
+    itertools.product(
+        [0, 32],                       # cache budget (MB); 0 = off
+        [1, 4],                        # worker threads
+        ["materialized", "dropped"],   # view state
+    )
+)
+
+
+def _config_id(config):
+    cache_mb, jobs, views = config
+    return f"cache{cache_mb}-jobs{jobs}-{views}"
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_dataset("NY", n_records=N_RECORDS, seed=5)
+
+
+@pytest.fixture(scope="module")
+def records(corpus):
+    return list(corpus.to_records())
+
+
+@pytest.fixture(scope="module")
+def workload(corpus):
+    """Mixed graph + aggregation workload: skewed path queries (shared
+    prefixes exercise the cache), dense queries (wide conjunctions), and
+    guaranteed misses (unknown edges must short-circuit to empty)."""
+    graph_queries = sample_path_queries(
+        corpus, 24, 3, distribution="zipf", seed=2
+    )
+    graph_queries += sample_dense_queries(corpus, 6, 0.05, seed=3)
+    graph_queries += [
+        GraphQuery([("no-such", "edge")]),
+        GraphQuery(list(graph_queries[0].elements) + [("no-such", "edge")]),
+    ]
+    agg_queries = [
+        PathAggregationQuery(query, function)
+        for function, query in zip(
+            itertools.cycle(AGG_FUNCTIONS), graph_queries[:15]
+        )
+    ]
+    return graph_queries, agg_queries
+
+
+@pytest.fixture(scope="module")
+def baseline(records, workload):
+    """Reference answers, computed once: RowStore shares no evaluation
+    code with the engine."""
+    graph_queries, agg_queries = workload
+    store = RowStore()
+    store.load_records(records)
+    return (
+        [store.query(q) for q in graph_queries],
+        [store.aggregate(q) for q in agg_queries],
+    )
+
+
+def _engine_under(config, records, workload):
+    """A fresh engine in the given serving configuration."""
+    cache_mb, jobs, views = config
+    engine = GraphAnalyticsEngine()
+    engine.load_records(records)
+    graph_queries, _ = workload
+    engine.materialize_graph_views(graph_queries[:10], budget=3)
+    engine.materialize_aggregate_views(
+        as_aggregate_queries(graph_queries[:6]), budget=2
+    )
+    if views == "dropped":
+        engine.drop_all_views()
+    cache = BitmapCache(cache_mb << 20) if cache_mb else None
+    return engine, QueryExecutor(engine, jobs=jobs, cache=cache)
+
+
+def assert_graph_result_matches(result, expected, query):
+    assert result.record_ids == expected.record_ids, query
+    by_row = dict(zip(expected.record_ids, expected.measures))
+    for element, values in result.measures.items():
+        for record_id, value in zip(result.record_ids, values):
+            reference = by_row[record_id].get(element)
+            if reference is None:
+                # Engine reports absent measures as NaN.
+                assert math.isnan(value), (query, element, record_id)
+            else:
+                assert value == pytest.approx(reference), (query, element)
+
+
+def assert_aggregation_matches(result, expected, query):
+    # Both systems report matches in record insertion order.
+    assert result.record_ids == list(expected), query
+    for path, values in result.path_values.items():
+        for record_id, value in zip(result.record_ids, values):
+            reference = expected[record_id].get(path)
+            if reference is None:
+                assert math.isnan(value) or value == 0.0, (query, path)
+            else:
+                assert value == pytest.approx(reference, nan_ok=True), (
+                    query,
+                    path,
+                )
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=map(_config_id, CONFIGS))
+def test_serving_config_matches_rowstore(config, records, workload, baseline):
+    graph_queries, agg_queries = workload
+    expected_graph, expected_agg = baseline
+    engine, executor = _engine_under(config, records, workload)
+    with executor:
+        # One mixed batch: the executor reorders execution by affinity but
+        # must return results aligned with submission order.
+        results = executor.run_batch(list(graph_queries) + list(agg_queries))
+    graph_results = results[: len(graph_queries)]
+    agg_results = results[len(graph_queries):]
+    for query, result, expected in zip(
+        graph_queries, graph_results, expected_graph
+    ):
+        assert_graph_result_matches(result, expected, query)
+    for query, result, expected in zip(agg_queries, agg_results, expected_agg):
+        assert_aggregation_matches(result, expected, query)
+    if config[0]:  # cache on: the accounting identity must hold
+        stats = engine.stats
+        assert stats.cache_hits + stats.cache_misses == (
+            stats.conjunctions_requested()
+        )
+
+
+def test_append_then_serve_matches_fresh_rowstore(records, workload):
+    """Differential across a mutation: answers after an append (with views
+    live and the cache warm) must equal a reference loaded from scratch."""
+    graph_queries, _ = workload
+    half = len(records) // 2
+    engine = GraphAnalyticsEngine()
+    engine.load_records(records[:half])
+    engine.materialize_graph_views(graph_queries[:10], budget=3)
+    with QueryExecutor(engine, jobs=4, cache_mb=32) as executor:
+        executor.run_batch(graph_queries, fetch_measures=False)  # warm
+        executor.append_records(records[half:])
+        results = executor.run_batch(graph_queries)
+    store = RowStore()
+    store.load_records(records)
+    for query, result in zip(graph_queries, results):
+        assert_graph_result_matches(result, store.query(query), query)
+
+
+def test_boolean_expressions_match_reference(records):
+    """Expressions route through evaluate(); reference is set algebra over
+    per-atom RowStore answers."""
+    store = RowStore()
+    store.load_records(records)
+    corpus_edges = sorted(
+        {e for r in records for e in r.elements()}, key=repr
+    )
+    a = GraphQuery(corpus_edges[:2])
+    b = GraphQuery(corpus_edges[2:4])
+    ids_a = set(store.query(a).record_ids)
+    ids_b = set(store.query(b).record_ids)
+    engine = GraphAnalyticsEngine()
+    engine.load_records(records)
+    with QueryExecutor(engine, jobs=2, cache_mb=8) as executor:
+        got_and, got_or, got_not = executor.run_batch(
+            [a & b, a | b, a - b], fetch_measures=False
+        )
+    assert set(got_and.record_ids) == ids_a & ids_b
+    assert set(got_or.record_ids) == ids_a | ids_b
+    assert set(got_not.record_ids) == ids_a - ids_b
+
+
+@st.composite
+def small_collections(draw):
+    nodes = "ABCDE"
+    edges = st.tuples(st.sampled_from(nodes), st.sampled_from(nodes))
+    n_records = draw(st.integers(min_value=1, max_value=6))
+    records = []
+    for i in range(n_records):
+        elements = draw(st.sets(edges, min_size=1, max_size=4))
+        records.append(
+            GraphRecord(
+                f"r{i}", {e: float(j + 1) for j, e in enumerate(sorted(elements))}
+            )
+        )
+    queries = draw(
+        st.lists(
+            st.sets(edges, min_size=1, max_size=3).map(GraphQuery),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return records, queries
+
+
+class TestPropertyDifferential:
+    """Hypothesis-driven: cached concurrent serving equals the containment
+    definition on arbitrary small collections."""
+
+    @given(small_collections())
+    @settings(max_examples=30, deadline=None)
+    def test_cached_executor_matches_containment(self, case):
+        records, queries = case
+        engine = GraphAnalyticsEngine()
+        engine.load_records(records)
+        with QueryExecutor(engine, jobs=2, cache_mb=4) as executor:
+            results = executor.run_batch(queries, fetch_measures=False)
+        for query, result in zip(queries, results):
+            expected = [r.record_id for r in records if query.matches(r)]
+            assert result.record_ids == expected
+
+    @given(small_collections())
+    @settings(max_examples=20, deadline=None)
+    def test_cache_changes_nothing(self, case):
+        records, queries = case
+        plain = GraphAnalyticsEngine()
+        plain.load_records(records)
+        cached = GraphAnalyticsEngine()
+        cached.load_records(records)
+        cached.use_bitmap_cache(BitmapCache(4 << 20))
+        for query in queries:
+            assert (
+                cached.query(query, fetch_measures=False).record_ids
+                == plain.query(query, fetch_measures=False).record_ids
+            )
+
+
+def test_results_are_epoch_stamped(records):
+    engine = GraphAnalyticsEngine()
+    engine.load_records(records[:10])
+    query = GraphQuery([next(iter(records[0].elements()))])
+    first = engine.query(query, fetch_measures=False)
+    assert first.epoch == engine.epoch
+    engine.append_records(records[10:12])
+    second = engine.query(first.query, fetch_measures=False)
+    assert second.epoch == engine.epoch > first.epoch
+
+
+def test_dense_measures_roundtrip(corpus, records):
+    """Measure arrays (not just ids) survive the cache: every returned
+    value equals the loaded record's measure."""
+    by_id = {r.record_id: r.measures() for r in records}
+    engine = GraphAnalyticsEngine()
+    engine.load_records(records)
+    queries = sample_dense_queries(corpus, 4, 0.04, seed=9)
+    with QueryExecutor(engine, jobs=1, cache_mb=16) as executor:
+        executor.run_batch(queries, fetch_measures=False)  # warm
+        results = executor.run_batch(queries)
+    for query, result in zip(queries, results):
+        for element, values in result.measures.items():
+            for record_id, value in zip(result.record_ids, values):
+                assert value == by_id[record_id][element], (element, record_id)
+    assert engine.stats.cache_hits > 0
+
+
+def test_nan_semantics_preserved(records):
+    """NaN measures stay NaN (not 0) through the serving layer."""
+    special = GraphRecord("nan-rec", {("p", "q"): float("nan"), ("q", "r"): 2.0})
+    engine = GraphAnalyticsEngine()
+    engine.load_records(records + [special])
+    with QueryExecutor(engine, cache_mb=4) as executor:
+        result = executor.run_one(GraphQuery([("p", "q"), ("q", "r")]))
+    assert result.record_ids == ["nan-rec"]
+    assert np.isnan(result.measures[("p", "q")][0])
+    assert result.measures[("q", "r")][0] == 2.0
