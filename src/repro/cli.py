@@ -8,6 +8,9 @@ Commands:
 * ``aggregate`` — run a DSL path-aggregation query;
 * ``batch`` — serve a file of DSL queries concurrently (``--jobs``) with a
   shared bitmap-conjunction cache (``--cache-mb``);
+* ``explain`` — show the rewrite plan a query would use without running it
+  (``--analyze`` also executes it and attaches measured counters + trace);
+* ``metrics`` — serve a workload and dump the metrics registry;
 * ``stats`` — show a persisted relation's shape and footprint;
 * ``demo`` — build a small synthetic corpus and run a sample session.
 
@@ -17,6 +20,8 @@ Examples::
     python -m repro query ./db "A -> D -> E"
     python -m repro aggregate ./db "SUM A -> D -> E"
     python -m repro batch ./db queries.txt --jobs 4 --cache-mb 64
+    python -m repro explain ./db "A -> D -> E" --analyze
+    python -m repro metrics ./db --queries queries.txt --jobs 4 --cache-mb 64
     python -m repro stats ./db
 """
 
@@ -169,6 +174,50 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .obs import explain
+
+    engine = _load_engine(FsPath(args.database))
+    query = _parse_workload_line(args.query)
+    if args.cache_mb:
+        from .exec import BitmapCache
+
+        engine.use_bitmap_cache(BitmapCache(int(args.cache_mb * (1 << 20))))
+    try:
+        print(explain(engine, query, analyze=args.analyze, fmt=args.format))
+    except TypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import MetricsRegistry
+
+    engine = _load_engine(FsPath(args.database))
+    registry = MetricsRegistry()
+    if args.queries:
+        lines = [
+            stripped
+            for raw in FsPath(args.queries).read_text().splitlines()
+            if (stripped := raw.strip()) and not stripped.startswith("#")
+        ]
+        workload = [_parse_workload_line(line) for line in lines]
+        with QueryExecutor(
+            engine, jobs=args.jobs, cache_mb=args.cache_mb, registry=registry
+        ) as executor:
+            for _ in executor.serve(workload, fetch_measures=False):
+                pass
+    else:
+        engine.use_metrics(registry)
+    dump = registry.to_json() if args.json else registry.render()
+    if args.output:
+        FsPath(args.output).write_text(registry.to_json() + "\n")
+        print(f"metrics written to {args.output}", file=sys.stderr)
+    print(dump)
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     directory = FsPath(args.database)
     engine = _load_engine(directory)
@@ -275,6 +324,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_serving_flags(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_explain = sub.add_parser(
+        "explain", help="show a query's rewrite plan without running it"
+    )
+    p_explain.add_argument("database")
+    p_explain.add_argument(
+        "query", help='graph or aggregation DSL, e.g. "A -> D -> E"'
+    )
+    p_explain.add_argument(
+        "--analyze", action="store_true",
+        help="also execute the query and attach measured counters + trace",
+    )
+    p_explain.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="plan rendering (default text)",
+    )
+    p_explain.add_argument(
+        "--cache-mb", type=float, default=0, metavar="MB",
+        help="bitmap-conjunction cache budget for --analyze (0 = off)",
+    )
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="serve a workload and dump the metrics registry"
+    )
+    p_metrics.add_argument("database")
+    p_metrics.add_argument(
+        "--queries", metavar="FILE", default=None,
+        help="DSL workload file to serve before dumping (one query per line)",
+    )
+    p_metrics.add_argument(
+        "--json", action="store_true", help="dump as JSON instead of text"
+    )
+    p_metrics.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also write the JSON dump to FILE",
+    )
+    add_serving_flags(p_metrics)
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_stats = sub.add_parser("stats", help="show a database's shape and size")
     p_stats.add_argument("database")

@@ -35,6 +35,9 @@ class IOStats:
     view_bitmaps_fetched: int = 0
     view_measure_columns_fetched: int = 0
     partitions_joined: int = 0
+    # Bytes behind the bitmap fetches above (packed-word storage); the
+    # paper's cost model counts columns, this tracks the actual volume.
+    bitmap_bytes_fetched: int = 0
     # Serving-layer counters (bitmap-conjunction cache + parallel executor).
     cache_hits: int = 0
     cache_misses: int = 0
@@ -79,6 +82,7 @@ class IOStats:
         self.view_bitmaps_fetched += other.view_bitmaps_fetched
         self.view_measure_columns_fetched += other.view_measure_columns_fetched
         self.partitions_joined += other.partitions_joined
+        self.bitmap_bytes_fetched += other.bitmap_bytes_fetched
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_evictions += other.cache_evictions
@@ -93,23 +97,54 @@ class IOStatsCollector:
     Increments are lock-protected: the parallel executor issues queries from
     multiple threads against one engine (and thus one collector), and
     ``count += 1`` is a read-modify-write that would drop updates otherwise.
+
+    When ``registry`` is set (a :class:`repro.obs.MetricsRegistry`, via
+    :meth:`GraphAnalyticsEngine.use_metrics`), every increment is mirrored
+    into process-wide ``io.*`` counters.  The mirror happens outside the
+    lock — the metrics carry their own locks — and the local ``stats``
+    remain the source of truth for per-query/per-batch deltas.
     """
 
     stats: IOStats = field(default_factory=IOStats)
+    registry: object | None = field(default=None, repr=False, compare=False)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+
+    def __post_init__(self) -> None:
+        # name -> Counter memo, keyed to the registry it came from; avoids
+        # a registry lookup (lock + dict probe) on every increment.
+        self._metric_cache: dict[str, object] = {}
+        self._cached_registry: object | None = None
+
+    def _publish(self, name: str, n: float = 1) -> None:
+        registry = self.registry
+        if registry is None:
+            return
+        if self._cached_registry is not registry:
+            self._metric_cache = {}
+            self._cached_registry = registry
+        counter = self._metric_cache.get(name)
+        if counter is None:
+            counter = self._metric_cache[name] = registry.counter(name)
+        counter.inc(n)
 
     def reset(self) -> None:
         with self._lock:
             self.stats = IOStats()
 
-    def record_bitmap_fetch(self, is_view: bool = False) -> None:
+    def record_bitmap_fetch(self, is_view: bool = False, nbytes: int = 0) -> None:
         with self._lock:
             if is_view:
                 self.stats.view_bitmaps_fetched += 1
             else:
                 self.stats.bitmap_columns_fetched += 1
+            self.stats.bitmap_bytes_fetched += nbytes
+        self._publish(
+            "io.view_bitmaps_fetched" if is_view else "io.bitmap_columns_fetched"
+        )
+        if nbytes:
+            self._publish("io.bitmap_bytes_fetched", nbytes)
 
     def record_measure_fetch(self, n_values: int, is_view: bool = False) -> None:
         with self._lock:
@@ -118,27 +153,40 @@ class IOStatsCollector:
             else:
                 self.stats.measure_columns_fetched += 1
             self.stats.measure_values_fetched += n_values
+        self._publish(
+            "io.view_measure_columns_fetched"
+            if is_view
+            else "io.measure_columns_fetched"
+        )
+        self._publish("io.measure_values_fetched", n_values)
 
     def record_partition_join(self, n_partitions: int) -> None:
+        if n_partitions <= 1:
+            return
         with self._lock:
-            if n_partitions > 1:
-                self.stats.partitions_joined += n_partitions
+            self.stats.partitions_joined += n_partitions
+        self._publish("io.partitions_joined", n_partitions)
 
     # -- serving-layer counters ---------------------------------------------
 
     def record_cache_hit(self) -> None:
         with self._lock:
             self.stats.cache_hits += 1
+        self._publish("io.cache_hits")
 
     def record_cache_miss(self) -> None:
         with self._lock:
             self.stats.cache_misses += 1
+        self._publish("io.cache_misses")
 
     def record_cache_eviction(self, n: int = 1) -> None:
         with self._lock:
             self.stats.cache_evictions += n
+        self._publish("io.cache_evictions", n)
 
     def record_batch(self, n_tasks: int) -> None:
         with self._lock:
             self.stats.batches_served += 1
             self.stats.parallel_tasks += n_tasks
+        self._publish("io.batches_served")
+        self._publish("io.parallel_tasks", n_tasks)

@@ -168,8 +168,9 @@ class MasterRelation:
     def bitmap(self, edge_id: int) -> Bitmap:
         """Fetch bitmap column ``b_i`` (counted as one bitmap fetch)."""
         column = self._materialize_column(edge_id)
-        self.collector.record_bitmap_fetch(is_view=False)
-        return column.validity
+        bitmap = column.validity
+        self.collector.record_bitmap_fetch(is_view=False, nbytes=bitmap.nbytes())
+        return bitmap
 
     def measures(self, edge_id: int, rows: np.ndarray | None = None) -> np.ndarray:
         """Fetch measure column ``m_i`` (counted as one measure fetch).
@@ -232,7 +233,7 @@ class MasterRelation:
         """Fetch a graph-view bitmap ``bv_j`` (counted as a view fetch)."""
         bitmap = self._graph_views[name]
         self._check_fresh(bitmap.length, name)
-        self.collector.record_bitmap_fetch(is_view=True)
+        self.collector.record_bitmap_fetch(is_view=True, nbytes=bitmap.nbytes())
         return bitmap
 
     def extend_graph_view(self, name: str, flags) -> None:
@@ -272,8 +273,9 @@ class MasterRelation:
         """Fetch ``bp_l`` for an aggregate view (counted as a view fetch)."""
         column = self._aggregate_views[name]
         self._check_fresh(len(column), name)
-        self.collector.record_bitmap_fetch(is_view=True)
-        return column.validity
+        bitmap = column.validity
+        self.collector.record_bitmap_fetch(is_view=True, nbytes=bitmap.nbytes())
+        return bitmap
 
     def aggregate_view_measures(
         self, name: str, rows: np.ndarray | None = None

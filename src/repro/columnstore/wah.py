@@ -31,6 +31,38 @@ _MAX_RUN = (1 << 62) - 1
 _PAYLOAD_MASK = (1 << 63) - 1
 
 
+def _normalize_words(length: int, words: Iterable[int]) -> list[int]:
+    """Canonicalize a WAH word stream for a bitmap of ``length`` bits.
+
+    The public constructor accepts any decodable stream; equivalent bitmaps
+    can arrive as different word sequences (a one-group all-ones fill vs a
+    literal, truncated streams that rely on implicit zero tails, overlong
+    streams, set padding bits in the final group).  Normalizing on
+    construction — decode to exactly ``ceil(length / 63)`` groups, zero the
+    final group's padding bits, re-compress — makes ``__eq__`` a plain word
+    comparison and keeps ``count``/``to_dense`` honest about the declared
+    length.
+    """
+    n_groups = (length + _PAYLOAD_BITS - 1) // _PAYLOAD_BITS
+    groups: list[int] = []
+    for word in words:
+        if len(groups) >= n_groups:
+            break  # overlong stream: trailing words are out of range
+        if word & _LITERAL_FLAG:
+            groups.append(word & _PAYLOAD_MASK)
+        else:
+            run = min(word & _MAX_RUN, n_groups - len(groups))
+            value = _PAYLOAD_MASK if word & _FILL_BIT else 0
+            groups.extend([value] * run)
+    if len(groups) < n_groups:
+        groups.extend([0] * (n_groups - len(groups)))  # implicit zero tail
+    if n_groups:
+        tail_bits = length - (n_groups - 1) * _PAYLOAD_BITS
+        if tail_bits < _PAYLOAD_BITS:
+            groups[-1] &= (1 << tail_bits) - 1
+    return _compress_groups(np.asarray(groups, dtype=np.uint64))
+
+
 def _compress_groups(groups: np.ndarray) -> list[int]:
     """Encode 63-bit groups into WAH words."""
     words: list[int] = []
@@ -60,9 +92,13 @@ class WahBitmap:
 
     __slots__ = ("_words", "_length")
 
-    def __init__(self, length: int, words: list[int]):
+    def __init__(self, length: int, words: list[int], *, _canonical: bool = False):
+        if length < 0:
+            raise ValueError("length must be >= 0")
         self._length = length
-        self._words = words
+        # Internal constructors (from_dense, __and__) produce canonical
+        # streams already and skip the re-encode.
+        self._words = list(words) if _canonical else _normalize_words(length, words)
 
     # -- construction --------------------------------------------------------
 
@@ -81,7 +117,7 @@ class WahBitmap:
             buf = np.zeros(8, dtype=np.uint8)
             buf[: packed.size] = packed
             groups[g] = buf.view(np.uint64)[0]
-        return cls(length, _compress_groups(groups))
+        return cls(length, _compress_groups(groups), _canonical=True)
 
     @classmethod
     def from_indices(cls, length: int, indices: Iterable[int]) -> "WahBitmap":
@@ -178,7 +214,9 @@ class WahBitmap:
             if b_run[0] == 0:
                 b_run = next(b_iter, None)
         return WahBitmap(
-            self._length, _compress_groups(np.asarray(out_groups, dtype=np.uint64))
+            self._length,
+            _compress_groups(np.asarray(out_groups, dtype=np.uint64)),
+            _canonical=True,
         )
 
     @staticmethod

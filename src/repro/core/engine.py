@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 from collections.abc import Iterable, Mapping, Sequence
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from itertools import islice
 from pathlib import Path as FsPath
@@ -62,6 +63,22 @@ __all__ = [
     "PathAggregationResult",
     "MaterializationReport",
 ]
+
+# Shared no-op context for the tracing hooks: reusable and reentrant, so
+# one instance serves every untraced span site without allocation.
+_NULL_SPAN = nullcontext()
+
+
+def _part_token(part: "ConjunctionPart") -> str:
+    """Stable display string for a conjunction part's bitmap column."""
+    token = part.token
+    if isinstance(token, str):
+        return token
+    try:
+        u, v = token
+        return f"{u}->{v}"
+    except (TypeError, ValueError):
+        return repr(token)
 
 
 @dataclass
@@ -135,6 +152,9 @@ class GraphAnalyticsEngine:
         # installed by use_bitmap_cache(); None keeps the original
         # uncached evaluation path.
         self._bitmap_cache = None
+        # Optional tracer (repro.obs.Tracer), installed by use_tracer();
+        # None keeps every hot path on a single attribute check.
+        self._tracer = None
 
     # -- loading ------------------------------------------------------------
 
@@ -452,6 +472,31 @@ class GraphAnalyticsEngine:
         if cache is not None:
             cache.collector = self.collector
 
+    @property
+    def tracer(self):
+        return self._tracer
+
+    def use_tracer(self, tracer) -> None:
+        """Install (or with ``None`` remove) a :class:`repro.obs.Tracer`.
+
+        Tracing is purely observational — query answers are identical with
+        and without it — and with no tracer installed every hook is a
+        single attribute check, so the disabled cost is negligible."""
+        self._tracer = tracer
+
+    def use_metrics(self, registry) -> None:
+        """Publish this engine's I/O accounting (and an installed bitmap
+        cache's traffic) into a :class:`repro.obs.MetricsRegistry`; pass
+        ``None`` to stop publishing."""
+        self.collector.registry = registry
+        if self._bitmap_cache is not None:
+            self._bitmap_cache.registry = registry
+
+    def _span(self, name: str, **meta):
+        """A tracer span when tracing is on, the shared no-op otherwise."""
+        tracer = self._tracer
+        return tracer.span(name, **meta) if tracer is not None else _NULL_SPAN
+
     def plan_query(self, query: GraphQuery) -> GraphQueryPlan:
         """The rewrite chosen for ``query`` given current views (§5.3)."""
         key = ("graph", query)
@@ -464,10 +509,16 @@ class GraphAnalyticsEngine:
     def _fetch_part(self, part: ConjunctionPart) -> Bitmap:
         """Fetch one conjunction input's bitmap column (counted as I/O)."""
         if part.kind == "element":
-            return self.relation.bitmap(self.catalog.get_id(part.token))
-        if part.kind == "graph-view":
-            return self.relation.view_bitmap(part.token)
-        return self.relation.aggregate_view_bitmap(part.token)
+            bitmap = self.relation.bitmap(self.catalog.get_id(part.token))
+        elif part.kind == "graph-view":
+            bitmap = self.relation.view_bitmap(part.token)
+        else:
+            bitmap = self.relation.aggregate_view_bitmap(part.token)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.add("bitmaps_fetched")
+            tracer.add("bytes_touched", bitmap.nbytes())
+        return bitmap
 
     @staticmethod
     def _prefix_keys(parts: list[ConjunctionPart]) -> list[frozenset[Edge]]:
@@ -500,16 +551,37 @@ class GraphAnalyticsEngine:
         prefixes instead of recomputing from scratch.
         """
         cache = self._bitmap_cache
+        tracer = self._tracer
         if cache is None or any(not part.covered for part in parts):
-            return Bitmap.and_all(self._fetch_part(part) for part in parts)
+            if tracer is None:
+                return Bitmap.and_all(self._fetch_part(part) for part in parts)
+
+            def fetch_traced(part: ConjunctionPart) -> Bitmap:
+                with tracer.span("and", kind=part.kind, part=_part_token(part)):
+                    return self._fetch_part(part)
+
+            return Bitmap.and_all(fetch_traced(part) for part in parts)
         epoch = self._epoch
 
         def build(i: int) -> Bitmap:
             def compute() -> Bitmap:
+                if tracer is not None:
+                    tracer.add("cache_miss")
                 bitmap = self._fetch_part(parts[i])
                 return bitmap if i == 0 else build(i - 1) & bitmap
 
-            return cache.get_or_compute(epoch, keys[i], compute)
+            if tracer is None:
+                return cache.get_or_compute(epoch, keys[i], compute)
+            # One span per conjunction part: a prefix served from cache
+            # closes immediately with cache_hit=1; a miss nests the fetch
+            # (and the shorter prefix's span) inside it.
+            with tracer.span(
+                "and", kind=parts[i].kind, part=_part_token(parts[i])
+            ) as span:
+                result = cache.get_or_compute(epoch, keys[i], compute)
+                if "cache_miss" not in span.counters:
+                    span.add("cache_hit")
+                return result
 
         return build(len(parts) - 1)
 
@@ -543,11 +615,41 @@ class GraphAnalyticsEngine:
             self._plan_cache[key] = cached
         return cached
 
+    def conjunction_inputs(self, query: GraphQuery | PathAggregationQuery):
+        """Public introspection: ``(plan, canonical parts, prefix keys)``.
+
+        The exact inputs :meth:`query`/:meth:`aggregate` would AND —
+        ``parts`` is None when a residual element has no column (the
+        answer is empty without touching any bitmap).  Used by the
+        EXPLAIN renderer (:mod:`repro.obs.explain`); computing it has no
+        side effect beyond warming the plan cache.
+        """
+        if isinstance(query, PathAggregationQuery):
+            return self._aggregation_conjunction_inputs(query)
+        if isinstance(query, GraphQuery):
+            return self._graph_conjunction_inputs(query)
+        raise TypeError(f"cannot plan {type(query).__name__}")
+
     def _structural_bitmap(self, query: GraphQuery) -> tuple[Bitmap, GraphQueryPlan]:
-        plan, parts, keys = self._graph_conjunction_inputs(query)
-        if not parts:
-            return self._empty_bitmap(), plan
-        return self._conjunction(parts, keys), plan
+        tracer = self._tracer
+        if tracer is None:
+            plan, parts, keys = self._graph_conjunction_inputs(query)
+            if not parts:
+                return self._empty_bitmap(), plan
+            return self._conjunction(parts, keys), plan
+        with tracer.span("rewrite"):
+            plan, parts, keys = self._graph_conjunction_inputs(query)
+            tracer.add("views_used", len(plan.view_names))
+            tracer.add("residual_elements", len(plan.residual_elements))
+        with tracer.span("conjunction") as span:
+            if not parts:
+                span.add("rows_matched", 0)
+                span.meta["short_circuit"] = "unindexed-element"
+                return self._empty_bitmap(), plan
+            bitmap = self._conjunction(parts, keys)
+            span.add("bitmaps_anded", len(parts))
+            span.add("rows_matched", bitmap.count())
+            return bitmap, plan
 
     def evaluate(self, expr: QueryExpr) -> Bitmap:
         """Evaluate a boolean combination of graph queries to a bitmap.
@@ -575,7 +677,22 @@ class GraphAnalyticsEngine:
 
         For a boolean expression, measures are fetched for the union of the
         atoms' elements that each matching record actually contains.
+
+        With a tracer installed (:meth:`use_tracer`) the call produces one
+        :class:`~repro.obs.QueryTrace` with nested rewrite / conjunction /
+        measure-materialization spans; answers are identical either way.
         """
+        tracer = self._tracer
+        if tracer is None:
+            return self._query_impl(query, fetch_measures)
+        with tracer.span("query", query=repr(query), epoch=self._epoch):
+            result = self._query_impl(query, fetch_measures)
+            tracer.add("rows_matched", len(result))
+            return result
+
+    def _query_impl(
+        self, query: GraphQuery | QueryExpr, fetch_measures: bool
+    ) -> GraphQueryResult:
         if isinstance(query, GraphQuery):
             bitmap, plan = self._structural_bitmap(query)
             elements = sorted(query.elements, key=repr)
@@ -592,16 +709,27 @@ class GraphAnalyticsEngine:
         rows = bitmap.to_indices()
         measures: dict[Edge, np.ndarray] = {}
         if fetch_measures and rows.size:
-            known_ids = []
-            for element in elements:
-                edge_id = self.catalog.get_id(element)
-                if edge_id is None or not self.relation.has_element(edge_id):
-                    measures[element] = np.full(rows.size, np.nan)
-                    continue
-                known_ids.append(edge_id)
-                measures[element] = self.relation.measures(edge_id, rows)
-            if known_ids:
-                self.relation.simulate_partition_join(known_ids, rows)
+            tracer = self._tracer
+            with self._span("measures"):
+                known_ids = []
+                for element in elements:
+                    edge_id = self.catalog.get_id(element)
+                    if edge_id is None or not self.relation.has_element(edge_id):
+                        measures[element] = np.full(rows.size, np.nan)
+                        continue
+                    known_ids.append(edge_id)
+                    measures[element] = self.relation.measures(edge_id, rows)
+                if known_ids:
+                    self.relation.simulate_partition_join(known_ids, rows)
+                if tracer is not None:
+                    tracer.add("measure_columns", len(known_ids))
+                    tracer.add("measure_values", rows.size * len(known_ids))
+                    tracer.add(
+                        "partitions_spanned",
+                        len(self.relation.partitions_for(known_ids))
+                        if known_ids
+                        else 0,
+                    )
         base_query = query if isinstance(query, GraphQuery) else None
         return GraphQueryResult(
             query=base_query if base_query is not None else GraphQuery(elements),
@@ -693,12 +821,36 @@ class GraphAnalyticsEngine:
 
     def aggregate(self, query: PathAggregationQuery) -> PathAggregationResult:
         """Answer ``F_Gq``: per matching record, apply the aggregate along
-        every maximal source→terminal path of the query graph (§3.4)."""
-        plan, parts, keys = self._aggregation_conjunction_inputs(query)
+        every maximal source→terminal path of the query graph (§3.4).
+
+        Traced like :meth:`query`, with an extra ``aggregation`` span
+        covering the per-path partial-merge stage.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return self._aggregate_impl(query)
+        with tracer.span("aggregate", query=repr(query), epoch=self._epoch):
+            result = self._aggregate_impl(query)
+            tracer.add("rows_matched", len(result))
+            return result
+
+    def _aggregate_impl(self, query: PathAggregationQuery) -> PathAggregationResult:
+        tracer = self._tracer
+        with self._span("rewrite"):
+            plan, parts, keys = self._aggregation_conjunction_inputs(query)
+            if tracer is not None:
+                tracer.add("views_used", len(plan.structural_view_names))
+                tracer.add("agg_views_used", len(plan.structural_agg_view_names))
+                tracer.add("residual_elements", len(plan.residual_elements))
         if not parts:
             rows = np.empty(0, dtype=np.int64)
         else:
-            rows = self._conjunction(parts, keys).to_indices()
+            with self._span("conjunction") as span:
+                bitmap = self._conjunction(parts, keys)
+                rows = bitmap.to_indices()
+                if tracer is not None:
+                    span.add("bitmaps_anded", len(parts))
+                    span.add("rows_matched", int(rows.size))
 
         function = get_function(query.function)
         needed = (
@@ -706,34 +858,41 @@ class GraphAnalyticsEngine:
         )
         path_values: dict[Path, np.ndarray] = {}
         raw_cache: dict[Edge, np.ndarray] = {}
-        for path_plan in plan.path_plans:
-            partials: dict[str, list[np.ndarray]] = {fn: [] for fn in needed}
-            for segment in path_plan.segments:
-                if segment.kind == "view":
-                    view = self._agg_views[segment.view_name]
-                    for fn in needed:
-                        partials[fn].append(self._segment_partial(view, fn, rows))
+        with self._span("aggregation"):
+            for path_plan in plan.path_plans:
+                partials: dict[str, list[np.ndarray]] = {fn: [] for fn in needed}
+                for segment in path_plan.segments:
+                    if segment.kind == "view":
+                        view = self._agg_views[segment.view_name]
+                        for fn in needed:
+                            partials[fn].append(self._segment_partial(view, fn, rows))
+                        if tracer is not None:
+                            tracer.add("view_segments")
+                    else:
+                        element = segment.element
+                        if element not in raw_cache:
+                            edge_id = self.catalog.get_id(element)
+                            if edge_id is None or not self.relation.has_element(edge_id):
+                                raw_cache[element] = np.full(rows.size, np.nan)
+                            else:
+                                raw_cache[element] = self.relation.measures(edge_id, rows)
+                        for fn in needed:
+                            partials[fn].append(get_function(fn).lift(raw_cache[element]))
+                        if tracer is not None:
+                            tracer.add("raw_segments")
+                if not any(partials.values()):
+                    continue
+                if function.distributive:
+                    value = function.merge_partials(partials[function.name])
                 else:
-                    element = segment.element
-                    if element not in raw_cache:
-                        edge_id = self.catalog.get_id(element)
-                        if edge_id is None or not self.relation.has_element(edge_id):
-                            raw_cache[element] = np.full(rows.size, np.nan)
-                        else:
-                            raw_cache[element] = self.relation.measures(edge_id, rows)
-                    for fn in needed:
-                        partials[fn].append(get_function(fn).lift(raw_cache[element]))
-            if not any(partials.values()):
-                continue
-            if function.distributive:
-                value = function.merge_partials(partials[function.name])
-            else:
-                sub = {
-                    fn: get_function(fn).merge_partials(arrays)
-                    for fn, arrays in partials.items()
-                }
-                value = function.finalize(sub)
-            path_values[path_plan.path] = value
+                    sub = {
+                        fn: get_function(fn).merge_partials(arrays)
+                        for fn, arrays in partials.items()
+                    }
+                    value = function.finalize(sub)
+                path_values[path_plan.path] = value
+            if tracer is not None:
+                tracer.add("paths", len(plan.path_plans))
         return PathAggregationResult(
             query=query,
             rows=rows,
@@ -880,38 +1039,22 @@ class GraphAnalyticsEngine:
 
     # -- introspection ---------------------------------------------------------------
 
-    def explain(self, query: GraphQuery | PathAggregationQuery) -> str:
+    def explain(
+        self,
+        query: GraphQuery | PathAggregationQuery,
+        analyze: bool = False,
+        fmt: str = "text",
+    ) -> str:
         """EXPLAIN-style description: the chosen plan, its cost in the
-        paper's units, and the SQL the column store would execute."""
-        from .sqlgen import render_aggregation, render_graph_query
+        paper's units, and the SQL the column store would execute.
 
-        if isinstance(query, PathAggregationQuery):
-            plan = self.plan_aggregation(query)
-            lines = [
-                f"PathAggregationQuery function={query.function}",
-                f"  maximal paths: {len(plan.path_plans)}",
-                f"  aggregate views used: {plan.structural_agg_view_names or '-'}",
-                f"  graph views used: {plan.structural_view_names or '-'}",
-                f"  residual element bitmaps: {len(plan.residual_elements)}",
-                f"  structural columns: {plan.n_structural_columns()}",
-                f"  measure columns: {plan.n_measure_columns()}",
-                "SQL:",
-                render_aggregation(plan, self.catalog),
-            ]
-            return "\n".join(lines)
-        if isinstance(query, GraphQuery):
-            plan = self.plan_query(query)
-            lines = [
-                f"GraphQuery |elements|={len(query)}",
-                f"  graph views used: {plan.view_names or '-'}",
-                f"  residual element bitmaps: {len(plan.residual_elements)}",
-                f"  structural columns: {plan.n_structural_columns()} "
-                f"(saves {len(query) - plan.n_structural_columns()})",
-                "SQL:",
-                render_graph_query(plan, self.catalog),
-            ]
-            return "\n".join(lines)
-        raise TypeError(f"cannot explain {type(query).__name__}")
+        With ``analyze=True`` the query is also executed under a temporary
+        tracer and the measured counters + span tree are attached
+        (EXPLAIN ANALYZE).  ``fmt`` selects ``"text"`` or ``"json"``.
+        """
+        from ..obs.explain import explain as _explain
+
+        return _explain(self, query, analyze=analyze, fmt=fmt)
 
     def reset_stats(self) -> None:
         self.collector.reset()

@@ -133,6 +133,11 @@ class GraphQueryPlan:
         """Bitmap columns this plan touches (the paper's cost unit)."""
         return len(self.view_names) + len(self.residual_elements)
 
+    def saved_columns(self) -> int:
+        """Bitmap columns the view rewrite avoided versus the no-view plan
+        (the per-query benefit the §5.2 selection objective sums)."""
+        return len(self.query) - self.n_structural_columns()
+
 
 @dataclass(frozen=True)
 class PathSegment:
@@ -186,6 +191,18 @@ class AggregationPlan:
             names.update(plan.view_names())
             raws.update(plan.raw_elements())
         return len(names) + len(raws)
+
+    def segment_counts(self) -> tuple[int, int]:
+        """(view segments, raw segments) across all path tilings — the
+        split the tracer's ``aggregation`` span reports at run time."""
+        n_view = n_raw = 0
+        for plan in self.path_plans:
+            for segment in plan.segments:
+                if segment.kind == "view":
+                    n_view += 1
+                else:
+                    n_raw += 1
+        return n_view, n_raw
 
 
 def plan_graph_query(

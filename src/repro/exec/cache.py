@@ -69,18 +69,26 @@ class BitmapCache:
     until it holds again (an entry larger than the whole budget is not
     retained at all).  An optional :class:`IOStatsCollector` — installed
     automatically by :meth:`GraphAnalyticsEngine.use_bitmap_cache` — mirrors
-    hit/miss/eviction traffic into the engine's query stats.
+    hit/miss/eviction traffic into the engine's query stats.  An optional
+    ``registry`` (a :class:`repro.obs.MetricsRegistry`, installed by
+    :meth:`GraphAnalyticsEngine.use_metrics`) additionally publishes the
+    same traffic as process-wide ``cache.*`` counters plus held-bytes /
+    entry-count gauges.
     """
 
     def __init__(
         self,
         budget_bytes: int = 64 << 20,
         collector: IOStatsCollector | None = None,
+        registry=None,
     ):
         if budget_bytes < 0:
             raise ValueError("budget_bytes must be >= 0")
         self.budget_bytes = budget_bytes
         self.collector = collector
+        self.registry = registry
+        self._metric_cache: dict[str, object] = {}
+        self._cached_registry = None
         self._lock = threading.Lock()
         self._entries: OrderedDict[CacheKey, Bitmap] = OrderedDict()
         # Content-key interning: digest -> [bitmap, number of cache entries
@@ -91,6 +99,26 @@ class BitmapCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+
+    def _publish(self, name: str, n: float = 1) -> None:
+        registry = self.registry
+        if registry is None:
+            return
+        if self._cached_registry is not registry:
+            self._metric_cache = {}
+            self._cached_registry = registry
+        counter = self._metric_cache.get(name)
+        if counter is None:
+            counter = self._metric_cache[name] = registry.counter(name)
+        counter.inc(n)
+
+    def _publish_gauges(self) -> None:
+        registry = self.registry
+        if registry is not None:
+            with self._lock:
+                entries, held = len(self._entries), self._bytes
+            registry.gauge("cache.entries").set(entries)
+            registry.gauge("cache.bytes_held").set(held)
 
     # -- core operation ------------------------------------------------------
 
@@ -117,11 +145,13 @@ class BitmapCache:
         if cached is not None:
             if self.collector is not None:
                 self.collector.record_cache_hit()
+            self._publish("cache.hits")
             return cached
         with self._lock:
             self._misses += 1
         if self.collector is not None:
             self.collector.record_cache_miss()
+        self._publish("cache.misses")
         bitmap = compute()
         self._insert(key, bitmap)
         return bitmap
@@ -141,6 +171,7 @@ class BitmapCache:
                 self.collector.record_cache_hit()
             else:
                 self.collector.record_cache_miss()
+        self._publish("cache.hits" if cached is not None else "cache.misses")
         return cached
 
     # -- bookkeeping ---------------------------------------------------------
@@ -179,12 +210,14 @@ class BitmapCache:
                 evicted += 1
         if evicted:
             self._evictions_add(evicted)
+        self._publish_gauges()
 
     def _evictions_add(self, n: int) -> None:
         with self._lock:
             self._evictions += n
         if self.collector is not None:
             self.collector.record_cache_eviction(n)
+        self._publish("cache.evictions", n)
 
     # -- invalidation --------------------------------------------------------
 
@@ -200,6 +233,9 @@ class BitmapCache:
             for key in stale:
                 self._release(self._entries.pop(key))
             self._invalidations += len(stale)
+        if stale:
+            self._publish("cache.invalidations", len(stale))
+        self._publish_gauges()
         return len(stale)
 
     def clear(self) -> None:
@@ -207,6 +243,7 @@ class BitmapCache:
             self._entries.clear()
             self._interned.clear()
             self._bytes = 0
+        self._publish_gauges()
 
     # -- introspection -------------------------------------------------------
 

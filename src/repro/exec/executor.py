@@ -25,6 +25,7 @@ Two scheduling decisions matter for the cache:
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Iterable, Iterator, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
@@ -128,6 +129,14 @@ class QueryExecutor:
     cache_mb:
         Convenience: build a fresh cache with this byte budget when
         ``cache`` is None.  ``cache_mb=0``/None leaves caching off.
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry`.  When set, the
+        executor publishes per-query latency histograms
+        (``exec.request_seconds`` overall, ``exec.query_seconds`` /
+        ``exec.aggregate_seconds`` by kind) plus batch-size and
+        served-query counters, and installs the registry on the engine
+        (:meth:`GraphAnalyticsEngine.use_metrics`) so the I/O collector
+        and bitmap cache publish too.
     """
 
     def __init__(
@@ -136,6 +145,7 @@ class QueryExecutor:
         jobs: int = 1,
         cache: BitmapCache | None = None,
         cache_mb: float | None = None,
+        registry=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -144,7 +154,10 @@ class QueryExecutor:
         self.engine = engine
         self.jobs = jobs
         self.cache = cache
+        self.registry = registry
         engine.use_bitmap_cache(cache)
+        if registry is not None:
+            engine.use_metrics(registry)
         self._rw = _ReadWriteLock()
         self._pool = ThreadPoolExecutor(max_workers=jobs) if jobs > 1 else None
         self._closed = False
@@ -172,10 +185,24 @@ class QueryExecutor:
 
     def run_one(self, query: AnyQuery, fetch_measures: bool = True) -> AnyResult:
         """Answer one query under the shared read lock."""
+        registry = self.registry
+        if registry is None:
+            with self._rw.read():
+                if isinstance(query, PathAggregationQuery):
+                    return self.engine.aggregate(query)
+                return self.engine.query(query, fetch_measures=fetch_measures)
+        kind = "aggregate" if isinstance(query, PathAggregationQuery) else "query"
+        start = time.perf_counter()
         with self._rw.read():
             if isinstance(query, PathAggregationQuery):
-                return self.engine.aggregate(query)
-            return self.engine.query(query, fetch_measures=fetch_measures)
+                result = self.engine.aggregate(query)
+            else:
+                result = self.engine.query(query, fetch_measures=fetch_measures)
+        elapsed = time.perf_counter() - start
+        registry.histogram("exec.request_seconds").observe(elapsed)
+        registry.histogram(f"exec.{kind}_seconds").observe(elapsed)
+        registry.counter("exec.queries_served").inc()
+        return result
 
     def run_batch(
         self, queries: Sequence[AnyQuery], fetch_measures: bool = True
@@ -191,6 +218,8 @@ class QueryExecutor:
         if not queries:
             return []
         self.engine.collector.record_batch(len(queries))
+        if self.registry is not None:
+            self.registry.histogram("exec.batch_size").observe(len(queries))
         # Affinity keys are O(query size) to build; skewed batches repeat a
         # few hot queries many times, so compute each distinct key once.
         keys: dict[AnyQuery, tuple] = {}

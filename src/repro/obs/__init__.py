@@ -1,0 +1,38 @@
+"""Observability: per-query traces, EXPLAIN plans, and a metrics registry.
+
+The measurement substrate for every performance claim in this repo.  The
+:class:`Tracer` attributes each query's latency to the rewrite,
+bitmap-conjunction, measure-materialization, and aggregation stages (the
+same breakdown the paper's Figures 6–8 argue from); :func:`explain`
+renders the chosen rewrite plan without executing it; and
+:class:`MetricsRegistry` aggregates counters/gauges/histograms published
+by :class:`~repro.columnstore.iostats.IOStatsCollector`,
+:class:`~repro.exec.BitmapCache`, and :class:`~repro.exec.QueryExecutor`
+into one JSON-dumpable document (``repro metrics``).
+"""
+
+from .explain import explain, explain_dict, render_plan_text
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .trace import QueryTrace, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryTrace",
+    "Span",
+    "Tracer",
+    "explain",
+    "explain_dict",
+    "get_registry",
+    "render_plan_text",
+    "set_registry",
+]

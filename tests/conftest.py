@@ -23,6 +23,21 @@ import pytest
 
 from repro.core import GraphAnalyticsEngine, GraphQuery, GraphRecord
 
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden snapshot files (tests/goldens/) instead of "
+             "comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    return request.config.getoption("--update-goldens")
+
 FIGURE2_EDGES = {
     1: ("A", "B"),
     2: ("A", "C"),

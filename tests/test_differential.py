@@ -288,6 +288,82 @@ def test_dense_measures_roundtrip(corpus, records):
     assert engine.stats.cache_hits > 0
 
 
+class TestMetricsConsistency:
+    """The observability layer must agree with both the engine's own
+    accounting and the RowStore reference — a counter that drifts from the
+    ground truth is as wrong as a bad answer."""
+
+    def test_registry_mirrors_cache_accounting(self, records, workload):
+        from repro.obs import MetricsRegistry
+
+        graph_queries, agg_queries = workload
+        engine = GraphAnalyticsEngine()
+        engine.load_records(records)
+        registry = MetricsRegistry()
+        with QueryExecutor(engine, jobs=4, cache_mb=16, registry=registry) as ex:
+            ex.run_batch(
+                list(graph_queries) + list(agg_queries), fetch_measures=False
+            )
+        stats = engine.stats
+        hits = registry.get("cache.hits")
+        misses = registry.get("cache.misses")
+        total = (hits.value if hits else 0) + (misses.value if misses else 0)
+        # Every conjunction lookup is exactly one hit or one miss, and the
+        # registry, the IOStats mirror, and the cache's own counters must
+        # all report the same traffic.
+        assert total == stats.conjunctions_requested()
+        assert registry.get("io.cache_hits").value == stats.cache_hits
+        assert registry.get("io.cache_misses").value == stats.cache_misses
+        cache_stats = ex.cache.stats
+        assert cache_stats.requests() == stats.conjunctions_requested()
+        assert registry.get("exec.queries_served").value == len(
+            graph_queries
+        ) + len(agg_queries)
+
+    def test_trace_rows_matched_equals_rowstore(self, records, workload):
+        from repro.obs import Tracer
+
+        graph_queries, _ = workload
+        store = RowStore()
+        store.load_records(records)
+        engine = GraphAnalyticsEngine()
+        engine.load_records(records)
+        engine.materialize_graph_views(graph_queries[:10], budget=3)
+        tracer = Tracer()
+        engine.use_tracer(tracer)
+        for query in graph_queries:
+            engine.query(query, fetch_measures=False)
+        traces = tracer.drain()
+        assert len(traces) == len(graph_queries)
+        for query, trace in zip(graph_queries, traces):
+            reference = len(store.query(query).record_ids)
+            assert trace.root.counters["rows_matched"] == reference, query
+            conjunction = trace.root.find("conjunction")
+            assert conjunction is not None
+            assert conjunction.counters["rows_matched"] == reference, query
+
+    def test_traced_metered_serving_still_matches_reference(
+        self, records, workload, baseline
+    ):
+        """Full observability on (tracer + registry + cache + threads):
+        answers stay bit-identical to the reference."""
+        from repro.obs import MetricsRegistry, Tracer
+
+        graph_queries, _ = workload
+        expected_graph, _ = baseline
+        engine = GraphAnalyticsEngine()
+        engine.load_records(records)
+        engine.materialize_graph_views(graph_queries[:10], budget=3)
+        engine.use_tracer(Tracer())
+        registry = MetricsRegistry()
+        with QueryExecutor(engine, jobs=4, cache_mb=16, registry=registry) as ex:
+            results = ex.run_batch(graph_queries)
+        for query, result, expected in zip(
+            graph_queries, results, expected_graph
+        ):
+            assert_graph_result_matches(result, expected, query)
+
+
 def test_nan_semantics_preserved(records):
     """NaN measures stay NaN (not 0) through the serving layer."""
     special = GraphRecord("nan-rec", {("p", "q"): float("nan"), ("q", "r"): 2.0})

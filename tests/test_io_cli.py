@@ -132,3 +132,95 @@ class TestCli:
         assert main(["demo", "--records", "50"]) == 0
         out = capsys.readouterr().out
         assert "demo corpus: 50 records" in out
+
+
+class TestObservabilityCli:
+    """``repro explain`` / ``repro metrics`` end-to-end on the bundled
+    Figure 2 example dataset."""
+
+    @pytest.fixture
+    def fig2_db(self, tmp_path):
+        import pathlib
+
+        examples = pathlib.Path(__file__).parent.parent / "examples"
+        db = tmp_path / "db"
+        assert main(["load", str(examples / "figure2.jsonl"), str(db)]) == 0
+        return db, examples / "figure2_queries.txt"
+
+    def test_explain_text(self, fig2_db, capsys):
+        db, _ = fig2_db
+        capsys.readouterr()
+        assert main(["explain", str(db), "A -> D -> E"]) == 0
+        out = capsys.readouterr().out
+        assert "GraphQuery |elements|=2" in out
+        assert "conjunction order:" in out
+        assert "SQL:" in out
+
+    def test_explain_is_deterministic_across_runs(self, fig2_db, capsys):
+        db, _ = fig2_db
+        capsys.readouterr()
+        assert main(["explain", str(db), "SUM A -> D -> E"]) == 0
+        first = capsys.readouterr().out
+        assert main(["explain", str(db), "SUM A -> D -> E"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_explain_json(self, fig2_db, capsys):
+        import json
+
+        db, _ = fig2_db
+        capsys.readouterr()
+        assert main(["explain", str(db), "A -> D -> E", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["type"] == "graph-query"
+        assert payload["answerable"] is True
+
+    def test_explain_analyze(self, fig2_db, capsys):
+        db, _ = fig2_db
+        capsys.readouterr()
+        assert main(
+            ["explain", str(db), "A -> D -> E", "--analyze", "--cache-mb", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "actual: 3 records" in out
+        assert "rows_matched: 3" in out
+
+    def test_metrics_with_workload(self, fig2_db, capsys):
+        db, queries = fig2_db
+        capsys.readouterr()
+        assert main(
+            [
+                "metrics", str(db),
+                "--queries", str(queries),
+                "--jobs", "2",
+                "--cache-mb", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "exec.queries_served" in out
+        assert "io.bitmap_columns_fetched" in out
+        assert "cache.hits" in out
+
+    def test_metrics_json_dump(self, fig2_db, capsys, tmp_path):
+        import json
+
+        db, queries = fig2_db
+        dump = tmp_path / "metrics.json"
+        capsys.readouterr()
+        assert main(
+            [
+                "metrics", str(db),
+                "--queries", str(queries),
+                "--json",
+                "--output", str(dump),
+            ]
+        ) == 0
+        payload = json.loads(dump.read_text())
+        assert payload["exec.queries_served"]["value"] == 5
+        stdout_payload = json.loads(capsys.readouterr().out)
+        assert set(stdout_payload) == set(payload)
+
+    def test_metrics_without_workload(self, fig2_db, capsys):
+        db, _ = fig2_db
+        capsys.readouterr()
+        assert main(["metrics", str(db)]) == 0
+        assert "(no metrics recorded)" in capsys.readouterr().out

@@ -8,7 +8,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.columnstore import Bitmap
-from repro.columnstore.wah import WahBitmap
+from repro.columnstore.wah import (
+    _FILL_BIT,
+    _LITERAL_FLAG,
+    _PAYLOAD_MASK,
+    WahBitmap,
+)
 
 
 class TestRoundtrip:
@@ -85,6 +90,77 @@ class TestAnd:
         a = WahBitmap.from_indices(100, [5])
         b = WahBitmap.from_indices(100, [5])
         assert a == b
+
+
+class TestNonCanonicalWords:
+    """The public constructor accepts any decodable word stream; equivalent
+    streams must normalize to one representation (regression: all-zero and
+    all-one tail groups used to defeat ``__eq__``/``count``/``to_dense``)."""
+
+    def test_all_one_tail_fill_equals_from_dense(self):
+        # 10-bit all-ones as a fill word: the tail group's 53 padding bits
+        # are implied set by the fill, but lie beyond the declared length.
+        wah = WahBitmap(10, [_FILL_BIT | 1])
+        assert wah == WahBitmap.from_dense(Bitmap.ones(10))
+        assert wah.count() == 10
+        assert wah.to_dense() == Bitmap.ones(10)
+
+    def test_literal_with_set_padding_bits(self):
+        wah = WahBitmap(5, [_LITERAL_FLAG | _PAYLOAD_MASK])
+        assert wah.count() == 5
+        assert wah == WahBitmap(5, [_FILL_BIT | 1])
+        assert wah.to_dense() == Bitmap.ones(5)
+
+    def test_truncated_stream_means_zero_tail(self):
+        # One zero-fill group only covers bits 0..62; the remaining 137
+        # bits are an implicit zero tail.
+        wah = WahBitmap(200, [1])
+        assert wah.to_dense() == Bitmap.zeros(200)
+        assert wah.count() == 0
+        assert wah == WahBitmap.from_dense(Bitmap.zeros(200))
+
+    def test_empty_stream_is_all_zeros(self):
+        assert WahBitmap(100, []) == WahBitmap.from_dense(Bitmap.zeros(100))
+
+    def test_overlong_stream_is_truncated(self):
+        assert WahBitmap(63, [1, 1, 1]) == WahBitmap(63, [1])
+        assert WahBitmap(63, [1, 1, 1]).to_dense().length == 63
+
+    def test_split_fill_runs_normalize_to_one(self):
+        # Two adjacent zero fills of 1 group each == one fill of 2 groups.
+        split = WahBitmap(126, [1, 1])
+        merged = WahBitmap(126, [2])
+        assert split == merged
+        assert split._words == merged._words
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            WahBitmap(-1, [])
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_words_roundtrip_stably(self, data):
+        """Any decodable stream: reconstructing from the normalized words
+        (or the dense round-trip) reproduces an equal bitmap."""
+        length = data.draw(st.integers(min_value=0, max_value=300))
+        words = data.draw(
+            st.lists(
+                st.one_of(
+                    # literals (any payload, including padding bits)
+                    st.integers(0, _PAYLOAD_MASK).map(lambda p: _LITERAL_FLAG | p),
+                    # short fills of either polarity
+                    st.tuples(st.integers(1, 8), st.booleans()).map(
+                        lambda rf: (_FILL_BIT if rf[1] else 0) | rf[0]
+                    ),
+                ),
+                max_size=8,
+            )
+        )
+        wah = WahBitmap(length, words)
+        assert wah.to_dense().length == length
+        assert wah.count() == wah.to_dense().count()
+        assert WahBitmap(length, wah._words) == wah
+        assert WahBitmap.from_dense(wah.to_dense()) == wah
 
 
 @st.composite
