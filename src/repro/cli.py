@@ -16,8 +16,8 @@ Commands:
 
 Examples::
 
-    python -m repro load records.jsonl ./db
-    python -m repro query ./db "A -> D -> E"
+    python -m repro load records.jsonl ./db --shards 4
+    python -m repro query ./db "A -> D -> E" --shards 4 --jobs 4
     python -m repro aggregate ./db "SUM A -> D -> E"
     python -m repro batch ./db queries.txt --jobs 4 --cache-mb 64
     python -m repro explain ./db "A -> D -> E" --analyze
@@ -37,13 +37,16 @@ from .core import GraphAnalyticsEngine
 from .dsl import parse_aggregation, parse_query
 from .errors import ReproError
 from .exec import QueryExecutor
-from .io import QuarantineReport, read_csv_triplets, read_jsonl
+from .io import QuarantineReport, ingest_records, read_csv_triplets, read_jsonl
 
 __all__ = ["main"]
 
 
-def _load_engine(directory: FsPath) -> GraphAnalyticsEngine:
-    return GraphAnalyticsEngine.load(directory)
+def _load_engine(
+    directory: FsPath, args: argparse.Namespace | None = None
+) -> GraphAnalyticsEngine:
+    shards = getattr(args, "shards", None) if args is not None else None
+    return GraphAnalyticsEngine.load(directory, shards=shards)
 
 
 def _executor_for(args: argparse.Namespace, engine: GraphAnalyticsEngine) -> QueryExecutor:
@@ -64,15 +67,15 @@ def _cmd_load(args: argparse.Namespace) -> int:
     records = reader(source, policy=args.on_error, report=report)
     if args.resume:
         if GraphAnalyticsEngine.is_saved_engine(directory):
-            engine = GraphAnalyticsEngine.load(directory)
+            engine = GraphAnalyticsEngine.load(directory, shards=args.shards)
         else:
-            engine = GraphAnalyticsEngine()
+            engine = GraphAnalyticsEngine(shards=args.shards or 1)
         loaded = engine.load_records_resumable(
             records, directory, batch_size=args.batch_size
         )
     else:
-        engine = GraphAnalyticsEngine()
-        loaded = engine.load_records(records)
+        engine = GraphAnalyticsEngine(shards=args.shards or 1)
+        loaded = ingest_records(engine, records, jobs=args.shards)
         engine.save(directory)
     print(f"loaded {loaded} records "
           f"({engine.relation.n_element_columns} distinct elements) "
@@ -86,7 +89,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    engine = _load_engine(FsPath(args.database))
+    engine = _load_engine(FsPath(args.database), args)
     expr = parse_query(args.query)
     with _executor_for(args, engine) as executor:
         result = executor.run_one(expr, fetch_measures=not args.ids_only)
@@ -108,7 +111,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_aggregate(args: argparse.Namespace) -> int:
-    engine = _load_engine(FsPath(args.database))
+    engine = _load_engine(FsPath(args.database), args)
     query = parse_aggregation(args.query)
     with _executor_for(args, engine) as executor:
         result = executor.run_one(query)
@@ -143,7 +146,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if (stripped := raw.strip()) and not stripped.startswith("#")
     ]
     workload = [_parse_workload_line(line) for line in lines]
-    engine = _load_engine(FsPath(args.database))
+    engine = _load_engine(FsPath(args.database), args)
     engine.reset_stats()
     with _executor_for(args, engine) as executor:
         started = time.perf_counter()
@@ -177,7 +180,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     from .obs import explain
 
-    engine = _load_engine(FsPath(args.database))
+    engine = _load_engine(FsPath(args.database), args)
     query = _parse_workload_line(args.query)
     if args.cache_mb:
         from .exec import BitmapCache
@@ -194,7 +197,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from .obs import MetricsRegistry
 
-    engine = _load_engine(FsPath(args.database))
+    engine = _load_engine(FsPath(args.database), args)
     registry = MetricsRegistry()
     if args.queries:
         lines = [
@@ -224,6 +227,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     relation = engine.relation
     print(f"records:            {relation.n_records}")
     print(f"element columns:    {relation.n_element_columns}")
+    print(f"shards:             {len(relation.shard_relations())}")
     print(f"partitions:         {relation.n_partitions} "
           f"(width {relation.partition_width})")
     print(f"graph views:        {len(relation.graph_view_names())}")
@@ -282,6 +286,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=1000,
         help="records per checkpointed batch with --resume (default 1000)",
     )
+    p_load.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition the relation into N record-range shards "
+             "(parallel ingest + shard-parallel serving; default 1)",
+    )
     p_load.set_defaults(func=_cmd_load)
 
     def add_serving_flags(p: argparse.ArgumentParser) -> None:
@@ -292,6 +301,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--cache-mb", type=float, default=0, metavar="MB",
             help="bitmap-conjunction cache budget in MB (0 = off)",
+        )
+        p.add_argument(
+            "--shards", type=int, default=None, metavar="N",
+            help="re-partition the loaded engine into N record-range "
+                 "shards (default: keep the saved layout)",
         )
 
     p_query = sub.add_parser("query", help="run a DSL graph query")

@@ -1,14 +1,18 @@
 """Column-oriented storage substrate (the paper's MonetDB substitute).
 
 Packed bitmaps, NULL-masked measure columns, the vertically partitioned
-master relation, I/O cost accounting in the paper's cost-model units, and
-``.npy``-per-column persistence.
+master relation, horizontal record-range sharding behind the
+:class:`StorageBackend` seam, I/O cost accounting in the paper's
+cost-model units, and ``.npy``-per-column persistence (plain and
+per-shard layouts).
 """
 
-from .bitmap import Bitmap, BitmapBuilder
+from .backend import StorageBackend
+from .bitmap import Bitmap, BitmapBuilder, popcount_words
 from .column import MeasureColumn, MeasureColumnBuilder
 from .iostats import IOStats, IOStatsCollector
 from .persistence import load_relation, relation_disk_usage, save_relation
+from .sharded import ShardedTable, is_sharded_dir, load_sharded, save_sharded
 from .table import MasterRelation
 from .wah import WahBitmap
 
@@ -20,8 +24,14 @@ __all__ = [
     "IOStats",
     "IOStatsCollector",
     "MasterRelation",
+    "ShardedTable",
+    "StorageBackend",
     "WahBitmap",
+    "popcount_words",
     "save_relation",
     "load_relation",
     "relation_disk_usage",
+    "save_sharded",
+    "load_sharded",
+    "is_sharded_dir",
 ]

@@ -20,7 +20,7 @@ from collections.abc import Iterable, Iterator
 
 import numpy as np
 
-__all__ = ["Bitmap", "BitmapBuilder"]
+__all__ = ["Bitmap", "BitmapBuilder", "popcount_words"]
 
 _WORD_BITS = 64
 # Lookup table: popcount of every byte value, used to count set bits fast.
@@ -29,6 +29,20 @@ _POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint64)
 # byte-LUT as the portable fallback (and as the reference for regression
 # tests pinning the two paths to each other).
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def popcount_words(words: np.ndarray, force_lut: bool = False) -> int:
+    """Total set bits across an unsigned integer array.
+
+    The single popcount implementation behind :meth:`Bitmap.count` and
+    :meth:`WahBitmap.count`: ``np.bitwise_count`` (hardware POPCNT) on
+    numpy >= 2.0, the byte-LUT otherwise.  ``force_lut=True`` pins a call
+    to the portable path so the parity regression test exercises both
+    implementations regardless of the installed numpy.
+    """
+    if _HAS_BITWISE_COUNT and not force_lut:
+        return int(np.bitwise_count(words).sum())
+    return int(_POPCOUNT8[words.view(np.uint8)].sum())
 
 
 def _words_needed(length: int) -> int:
@@ -233,18 +247,15 @@ class Bitmap:
     def count(self) -> int:
         """Number of set bits (cardinality of the answer set).
 
-        Uses ``np.bitwise_count`` (hardware POPCNT) on numpy >= 2.0 and the
-        byte-LUT fallback otherwise; both paths are pinned to each other by
-        a regression test.
+        Delegates to :func:`popcount_words` — ``np.bitwise_count``
+        (hardware POPCNT) on numpy >= 2.0, byte-LUT fallback otherwise;
+        both paths are pinned to each other by a regression test.
         """
-        if _HAS_BITWISE_COUNT:
-            return int(np.bitwise_count(self._words).sum())
-        return self._count_lut()
+        return popcount_words(self._words)
 
     def _count_lut(self) -> int:
         """Portable byte-LUT popcount (the numpy < 2.0 path)."""
-        as_bytes = self._words.view(np.uint8)
-        return int(_POPCOUNT8[as_bytes].sum())
+        return popcount_words(self._words, force_lut=True)
 
     def any(self) -> bool:
         """True iff at least one bit is set."""
@@ -311,6 +322,32 @@ class Bitmap:
             return self
         combined = np.concatenate([self.to_bools(), np.asarray(flags, dtype=bool)])
         return Bitmap.from_bools(combined)
+
+    def slice(self, start: int, stop: int) -> "Bitmap":
+        """Bits ``[start, stop)`` as a new bitmap (horizontal partitioning:
+        a record-range shard's segment of a relation-wide bitmap)."""
+        if not 0 <= start <= stop <= self._length:
+            raise IndexError(
+                f"slice [{start}, {stop}) out of range for length {self._length}"
+            )
+        return Bitmap.from_bools(self.to_bools()[start:stop])
+
+    @staticmethod
+    def concat(bitmaps: Iterable["Bitmap"]) -> "Bitmap":
+        """Order-preserving concatenation of bitmap segments.
+
+        The shard-merge combiner: record-range shards evaluate a conjunction
+        over their own bit segments and the global answer is the segments
+        joined back in shard order — bit *i* of the result is bit
+        ``i - start_of(shard)`` of that shard's segment.  ``concat`` of the
+        per-shard slices of a bitmap reproduces the original exactly.
+        """
+        parts = list(bitmaps)
+        if not parts:
+            return Bitmap.zeros(0)
+        if len(parts) == 1:
+            return parts[0]
+        return Bitmap.from_bools(np.concatenate([p.to_bools() for p in parts]))
 
     def resized(self, new_length: int) -> "Bitmap":
         """Return a copy truncated or zero-extended to ``new_length`` bits."""

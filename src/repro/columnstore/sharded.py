@@ -1,0 +1,613 @@
+"""Horizontal record partitioning: the sharded master relation.
+
+The paper scales the master relation *vertically* (sub-relations of at
+most 1000 columns, §6.1); :class:`ShardedTable` adds the horizontal
+dimension the ROADMAP's serving goals need.  The record space is split
+into contiguous **record-range shards**, each a full
+:class:`~repro.columnstore.table.MasterRelation` holding that range's
+slice of every measure column, edge bitmap, and view column.  Because
+shards are contiguous and ordered, every merge combiner is a plain
+order-preserving concatenation:
+
+* structural bitmaps — ``Bitmap.concat`` of the per-shard segments;
+* matching rows — each shard's local indices shifted by its start offset;
+* measure vectors / path aggregates — per-shard gathers written back into
+  the caller's row order.
+
+Appends only ever touch the **last** shard (boundaries of the earlier
+shards are immutable), so incremental ingest rebuilds one shard, not the
+relation; ``rebalance()`` re-splits evenly after bulk loads.
+
+Persistence (:func:`save_sharded` / :func:`load_sharded`) reuses the PR-1
+generation/CRC scheme *per shard*: every shard directory is a complete
+:func:`~repro.columnstore.persistence.save_relation` layout with its own
+manifest and checksums, grouped under a root generation directory whose
+``shards.json`` swap is the single atomic commit point — a crash mid-save
+leaves the previous root generation (and its shard manifests) intact.
+A damaged view file in *any* shard drops that view from the shard at load
+time; the table then reports the view as globally absent, and the engine's
+existing pruning degrades the plan to base bitmaps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from collections.abc import Iterable, Mapping
+from pathlib import Path as FsPath
+
+import numpy as np
+
+from ..errors import ManifestError, PersistenceError
+from .bitmap import Bitmap
+from .column import MeasureColumn
+from .iostats import IOStatsCollector
+from .persistence import load_relation, save_relation
+from .table import MasterRelation
+
+__all__ = [
+    "ShardedTable",
+    "save_sharded",
+    "load_sharded",
+    "is_sharded_dir",
+    "SHARD_MANIFEST",
+]
+
+SHARD_MANIFEST = "shards.json"
+SHARD_FORMAT_VERSION = 1
+_GEN_PREFIX = "gen-"
+_TMP_PREFIX = ".tmp-"
+
+
+class ShardedTable:
+    """A master relation horizontally partitioned into record-range shards.
+
+    Implements the same :class:`~repro.columnstore.backend.StorageBackend`
+    contract as :class:`MasterRelation`; the global accessors merge across
+    shards, while the engine's operator layer reaches the per-shard
+    relations through :meth:`shard_relations` for parallel evaluation.
+
+    All shards share one I/O collector: fetching a logical column that is
+    physically split across *k* shards records *k* (smaller) column
+    fetches — the shards really are separate column files.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        partition_width: int = 1000,
+        collector: IOStatsCollector | None = None,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.partition_width = partition_width
+        self._collector = collector if collector is not None else IOStatsCollector()
+        self.shards = [
+            MasterRelation(partition_width=partition_width, collector=self._collector)
+            for _ in range(n_shards)
+        ]
+        self.dropped_views: list[tuple[str, str]] = []
+        self.app_meta: dict | None = None
+
+    # -- collector plumbing --------------------------------------------------
+
+    @property
+    def collector(self) -> IOStatsCollector:
+        return self._collector
+
+    @collector.setter
+    def collector(self, value: IOStatsCollector) -> None:
+        self._collector = value
+        for shard in self.shards:
+            shard.collector = value
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_relations(self) -> list[MasterRelation]:
+        return list(self.shards)
+
+    def shard_starts(self) -> list[int]:
+        starts, offset = [], 0
+        for shard in self.shards:
+            starts.append(offset)
+            offset += shard.n_records
+        return starts
+
+    def _shard_ends(self) -> np.ndarray:
+        return np.cumsum([shard.n_records for shard in self.shards])
+
+    @property
+    def n_records(self) -> int:
+        return sum(shard.n_records for shard in self.shards)
+
+    def element_ids(self) -> list[int]:
+        ids: set[int] = set()
+        for shard in self.shards:
+            ids.update(shard.element_ids())
+        return sorted(ids)
+
+    @property
+    def n_element_columns(self) -> int:
+        return len(self.element_ids())
+
+    def partition_of(self, edge_id: int) -> int:
+        return edge_id // self.partition_width
+
+    @property
+    def n_partitions(self) -> int:
+        ids = self.element_ids()
+        if not ids:
+            return 0
+        return self.partition_of(max(ids)) + 1
+
+    def partitions_for(self, edge_ids: Iterable[int]) -> set[int]:
+        return {self.partition_of(i) for i in edge_ids}
+
+    # -- loading -------------------------------------------------------------
+
+    def append_row(self, cells: Mapping[int, float]) -> int:
+        """Append one record row to the **last** shard (earlier shard
+        boundaries are immutable); returns the global row index."""
+        start = self.n_records - self.shards[-1].n_records
+        return start + self.shards[-1].append_row(cells)
+
+    def append_rows(self, rows: Iterable[Mapping[int, float]]) -> list[int]:
+        return [self.append_row(r) for r in rows]
+
+    def set_record_count(self, n_records: int) -> None:
+        """Declare the row count before sparse bulk loading.
+
+        On an empty table the rows are split evenly across the shards
+        (balanced record ranges); on a non-empty table the growth extends
+        the last shard only, like :meth:`append_row`.
+        """
+        current = self.n_records
+        if n_records < current:
+            raise ValueError("cannot shrink the relation")
+        if current == 0:
+            k = len(self.shards)
+            base, extra = divmod(n_records, k)
+            for i, shard in enumerate(self.shards):
+                shard.set_record_count(base + (1 if i < extra else 0))
+        else:
+            last = self.shards[-1]
+            last.set_record_count(last.n_records + (n_records - current))
+
+    def load_sparse_column(
+        self, edge_id: int, row_indices: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Route one sparse column's (row, value) pairs to their shards."""
+        rows = np.asarray(row_indices, dtype=np.int64)
+        vals = np.asarray(values, dtype=np.float64)
+        if rows.shape != vals.shape:
+            raise ValueError("row/value arrays must be parallel")
+        if rows.size and (rows.min() < 0 or rows.max() >= self.n_records):
+            raise IndexError("row index out of range; call set_record_count first")
+        ends = self._shard_ends()
+        sidx = np.searchsorted(ends, rows, side="right")
+        starts = self.shard_starts()
+        for i, shard in enumerate(self.shards):
+            mask = sidx == i
+            if mask.any():
+                shard.load_sparse_column(edge_id, rows[mask] - starts[i], vals[mask])
+
+    def rebalance(self) -> None:
+        """Re-split the record space into even contiguous ranges.
+
+        Bulk row-wise loads land in the last shard (streaming cannot know
+        the total up front); rebalancing afterwards restores balanced
+        shards.  Global record order, columns, and views are preserved
+        bit-for-bit — only the shard boundaries move.
+        """
+        if len(self.shards) == 1:
+            return
+        total = self.n_records
+        columns = {
+            edge_id: self._merged_column(edge_id) for edge_id in self.element_ids()
+        }
+        graph_views = self.graph_views_for_persistence()
+        agg_views = self.aggregate_views_for_persistence()
+        self.shards = [
+            MasterRelation(
+                partition_width=self.partition_width, collector=self._collector
+            )
+            for _ in self.shards
+        ]
+        self.set_record_count(total)
+        for edge_id, column in columns.items():
+            rows = column.validity.to_indices()
+            self.load_sparse_column(edge_id, rows, column.take(rows))
+        for name, bitmap in graph_views.items():
+            self.add_graph_view(name, bitmap)
+        for name, column in agg_views.items():
+            self.add_aggregate_view(name, column)
+
+    @classmethod
+    def from_relation(cls, relation, n_shards: int) -> "ShardedTable":
+        """Horizontally partition an existing relation (or re-shard a
+        sharded one) into ``n_shards`` balanced record ranges."""
+        table = cls(
+            n_shards,
+            partition_width=relation.partition_width,
+            collector=relation.collector,
+        )
+        table.set_record_count(relation.n_records)
+        for edge_id in relation.element_ids():
+            column = relation.column_for_persistence(edge_id)
+            rows = column.validity.to_indices()
+            table.load_sparse_column(edge_id, rows, column.take(rows))
+        for name, bitmap in relation.graph_views_for_persistence().items():
+            table.add_graph_view(name, bitmap)
+        for name, column in relation.aggregate_views_for_persistence().items():
+            table.add_aggregate_view(name, column)
+        table.dropped_views = list(relation.dropped_views)
+        table.app_meta = relation.app_meta
+        return table
+
+    def to_relation(self) -> MasterRelation:
+        """Merge the shards back into one plain :class:`MasterRelation`."""
+        relation = MasterRelation(
+            partition_width=self.partition_width, collector=self._collector
+        )
+        relation.set_record_count(self.n_records)
+        for edge_id in self.element_ids():
+            column = self._merged_column(edge_id)
+            rows = column.validity.to_indices()
+            relation.load_sparse_column(edge_id, rows, column.take(rows))
+        for name, bitmap in self.graph_views_for_persistence().items():
+            relation.add_graph_view(name, bitmap)
+        for name, column in self.aggregate_views_for_persistence().items():
+            relation.add_aggregate_view(name, column)
+        relation.dropped_views = list(self.dropped_views)
+        relation.app_meta = self.app_meta
+        return relation
+
+    # -- column access -------------------------------------------------------
+
+    def has_element(self, edge_id: int) -> bool:
+        return any(shard.has_element(edge_id) for shard in self.shards)
+
+    def bitmap(self, edge_id: int) -> Bitmap:
+        """Global edge bitmap: per-shard segments concatenated in order.
+
+        Shards that never saw the element contribute an all-zero segment
+        without an I/O charge (there is no column file to fetch there).
+        """
+        return Bitmap.concat(
+            shard.bitmap(edge_id)
+            if shard.has_element(edge_id)
+            else Bitmap.zeros(shard.n_records)
+            for shard in self.shards
+        )
+
+    def _route_gather(self, rows: np.ndarray, fetch) -> np.ndarray:
+        """Gather per-shard values for global ``rows``, preserving the
+        caller's row order.  ``fetch(shard, local_rows)`` returns the
+        shard's values; absent columns come back NaN."""
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.full(rows.size, np.nan)
+        ends = self._shard_ends()
+        sidx = np.searchsorted(ends, rows, side="right")
+        starts = self.shard_starts()
+        for i, shard in enumerate(self.shards):
+            mask = sidx == i
+            if mask.any():
+                out[mask] = fetch(shard, rows[mask] - starts[i])
+        return out
+
+    def measures(self, edge_id: int, rows: np.ndarray | None = None) -> np.ndarray:
+        if rows is None:
+            return np.concatenate(
+                [
+                    shard.measures(edge_id)
+                    if shard.has_element(edge_id)
+                    else np.full(shard.n_records, np.nan)
+                    for shard in self.shards
+                ]
+            )
+        return self._route_gather(
+            rows,
+            lambda shard, local: shard.measures(edge_id, local)
+            if shard.has_element(edge_id)
+            else np.full(local.size, np.nan),
+        )
+
+    def simulate_partition_join(
+        self, edge_ids: Iterable[int], rows: np.ndarray
+    ) -> None:
+        """Model the §6.1 recid re-join on the *merged* row set (vertical
+        partitioning is by edge id, identical in every shard)."""
+        partitions = self.partitions_for(edge_ids)
+        self._collector.record_partition_join(len(partitions))
+        for _ in range(max(len(partitions) - 1, 0)):
+            np.intersect1d(rows, rows, assume_unique=True)
+
+    # -- views ---------------------------------------------------------------
+
+    def add_graph_view(self, name: str, bitmap: Bitmap) -> None:
+        """Store a graph view, split into per-shard bitmap segments."""
+        if bitmap.length != self.n_records:
+            raise ValueError("view bitmap length must equal the record count")
+        offset = 0
+        for shard in self.shards:
+            shard.add_graph_view(name, bitmap.slice(offset, offset + shard.n_records))
+            offset += shard.n_records
+
+    def view_bitmap(self, name: str) -> Bitmap:
+        return Bitmap.concat(shard.view_bitmap(name) for shard in self.shards)
+
+    def has_graph_view(self, name: str) -> bool:
+        """A view is usable only when *every* shard holds its segment (a
+        shard-local integrity failure degrades the view globally)."""
+        return all(shard.has_graph_view(name) for shard in self.shards)
+
+    def graph_view_names(self) -> list[str]:
+        names = set(self.shards[0].graph_view_names())
+        for shard in self.shards[1:]:
+            names &= set(shard.graph_view_names())
+        return sorted(names)
+
+    def drop_graph_view(self, name: str) -> None:
+        for shard in self.shards:
+            shard.drop_graph_view(name)
+
+    def extend_graph_view(self, name: str, flags) -> None:
+        """Appends touch only the last shard's view segment."""
+        self.shards[-1].extend_graph_view(name, flags)
+
+    def add_aggregate_view(self, name: str, column: MeasureColumn) -> None:
+        if len(column) != self.n_records:
+            raise ValueError("view column length must equal the record count")
+        values = column.values()
+        offset = 0
+        for shard in self.shards:
+            stop = offset + shard.n_records
+            shard.add_aggregate_view(
+                name,
+                MeasureColumn(values[offset:stop], column.validity.slice(offset, stop)),
+            )
+            offset = stop
+
+    def aggregate_view_bitmap(self, name: str) -> Bitmap:
+        return Bitmap.concat(
+            shard.aggregate_view_bitmap(name) for shard in self.shards
+        )
+
+    def aggregate_view_measures(
+        self, name: str, rows: np.ndarray | None = None
+    ) -> np.ndarray:
+        if rows is None:
+            return np.concatenate(
+                [shard.aggregate_view_measures(name) for shard in self.shards]
+            )
+        return self._route_gather(
+            rows, lambda shard, local: shard.aggregate_view_measures(name, local)
+        )
+
+    def has_aggregate_view(self, name: str) -> bool:
+        return all(shard.has_aggregate_view(name) for shard in self.shards)
+
+    def aggregate_view_names(self) -> list[str]:
+        names = set(self.shards[0].aggregate_view_names())
+        for shard in self.shards[1:]:
+            names &= set(shard.aggregate_view_names())
+        return sorted(names)
+
+    def drop_aggregate_view(self, name: str) -> None:
+        for shard in self.shards:
+            shard.drop_aggregate_view(name)
+
+    def extend_aggregate_view(self, name: str, cells) -> None:
+        self.shards[-1].extend_aggregate_view(name, cells)
+
+    def drop_views(self) -> None:
+        for shard in self.shards:
+            shard.drop_views()
+
+    # -- footprint -----------------------------------------------------------
+
+    def base_size_bytes(self, model: str = "sparse") -> int:
+        return sum(shard.base_size_bytes(model) for shard in self.shards)
+
+    def views_size_bytes(self) -> int:
+        return sum(shard.views_size_bytes() for shard in self.shards)
+
+    def disk_size_bytes(self) -> int:
+        return self.base_size_bytes() + self.views_size_bytes()
+
+    # -- merged access for persistence/materialization ----------------------
+
+    def _merged_column(self, edge_id: int) -> MeasureColumn:
+        values = np.concatenate(
+            [
+                shard.column_for_persistence(edge_id).values()
+                if shard.has_element(edge_id)
+                else np.full(shard.n_records, np.nan)
+                for shard in self.shards
+            ]
+        )
+        validity = Bitmap.concat(
+            shard.column_for_persistence(edge_id).validity
+            if shard.has_element(edge_id)
+            else Bitmap.zeros(shard.n_records)
+            for shard in self.shards
+        )
+        return MeasureColumn(values, validity)
+
+    def column_for_persistence(self, edge_id: int) -> MeasureColumn:
+        """Merged global column (no I/O accounting) — the same contract as
+        :meth:`MasterRelation.column_for_persistence`, used by view
+        materialization and format conversion."""
+        if not self.has_element(edge_id):
+            raise KeyError(f"no column for element id {edge_id}")
+        return self._merged_column(edge_id)
+
+    def graph_views_for_persistence(self) -> dict[str, Bitmap]:
+        return {
+            name: Bitmap.concat(
+                shard.graph_views_for_persistence()[name] for shard in self.shards
+            )
+            for name in self.graph_view_names()
+        }
+
+    def aggregate_views_for_persistence(self) -> dict[str, MeasureColumn]:
+        merged: dict[str, MeasureColumn] = {}
+        for name in self.aggregate_view_names():
+            columns = [
+                shard.aggregate_views_for_persistence()[name] for shard in self.shards
+            ]
+            merged[name] = MeasureColumn(
+                np.concatenate([c.values() for c in columns]),
+                Bitmap.concat(c.validity for c in columns),
+            )
+        return merged
+
+
+# -- sharded persistence -----------------------------------------------------
+
+
+def is_sharded_dir(directory: str | FsPath) -> bool:
+    """Whether ``directory`` holds a sharded relation (root ``shards.json``)."""
+    return (FsPath(directory) / SHARD_MANIFEST).is_file()
+
+
+def _try_read_shard_manifest(root: FsPath) -> dict | None:
+    path = root / SHARD_MANIFEST
+    if not path.is_file():
+        return None
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return manifest if isinstance(manifest, dict) else None
+
+
+def _collect_root_garbage(root: FsPath, keep: set[str]) -> None:
+    for child in root.iterdir():
+        if child.name in keep or child.name == SHARD_MANIFEST:
+            continue
+        if child.is_dir() and child.name.startswith((_GEN_PREFIX, _TMP_PREFIX)):
+            shutil.rmtree(child, ignore_errors=True)
+        elif child.is_file() and child.name == SHARD_MANIFEST + ".tmp":
+            child.unlink(missing_ok=True)
+
+
+def save_sharded(
+    table: ShardedTable,
+    directory: str | FsPath,
+    app_meta: dict | None = None,
+) -> None:
+    """Atomically persist a sharded relation under ``directory``.
+
+    Every shard is written with :func:`save_relation` — its own manifest,
+    generation directory, and CRC32 integrity entries — into a fresh root
+    generation directory; the root ``shards.json`` swap is the single
+    commit point, after which superseded root generations are collected.
+    A crash at any earlier instant leaves the previous root generation
+    (and the manifest pointing at it) untouched.
+    """
+    root = FsPath(directory)
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise PersistenceError(
+            f"cannot create relation directory {root}: {exc}"
+        ) from None
+    previous = _try_read_shard_manifest(root)
+    prev_gen = previous.get("directory") if previous else None
+    generation = int(previous.get("generation", 0)) + 1 if previous else 1
+    gen_name = f"{_GEN_PREFIX}{generation:06d}"
+    _collect_root_garbage(root, keep={prev_gen} if prev_gen else set())
+
+    tmp_dir = root / f"{_TMP_PREFIX}{gen_name}"
+    shutil.rmtree(tmp_dir, ignore_errors=True)
+    tmp_dir.mkdir()
+    for i, shard in enumerate(table.shards):
+        save_relation(shard, tmp_dir / f"shard-{i:03d}")
+    os.replace(tmp_dir, root / gen_name)
+
+    manifest = {
+        "format_version": SHARD_FORMAT_VERSION,
+        "generation": generation,
+        "directory": gen_name,
+        "n_shards": table.n_shards,
+        "shard_records": [shard.n_records for shard in table.shards],
+        "partition_width": table.partition_width,
+    }
+    if app_meta is not None:
+        manifest["app_meta"] = app_meta
+    staged = root / (SHARD_MANIFEST + ".tmp")
+    staged.write_text(json.dumps(manifest))
+    os.replace(staged, root / SHARD_MANIFEST)  # the commit point
+    _collect_root_garbage(root, keep={gen_name})
+
+
+_REQUIRED_SHARD_KEYS = (
+    "format_version",
+    "generation",
+    "directory",
+    "n_shards",
+    "shard_records",
+    "partition_width",
+)
+
+
+def load_sharded(directory: str | FsPath, verify: bool = True) -> ShardedTable:
+    """Reconstruct a sharded relation written by :func:`save_sharded`.
+
+    Each shard loads through :func:`load_relation` with the full PR-1
+    integrity checking: corrupt base columns raise, damaged view files drop
+    that view from the shard (and — because a view must be present in
+    every shard to be usable — from the whole table, recorded in
+    ``dropped_views``).
+    """
+    root = FsPath(directory)
+    path = root / SHARD_MANIFEST
+    if not path.is_file():
+        raise PersistenceError(f"{root} is not a sharded relation (no {SHARD_MANIFEST})")
+    try:
+        manifest = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ManifestError(f"{path}: invalid JSON: {exc}") from None
+    if not isinstance(manifest, dict):
+        raise ManifestError(f"{path}: manifest must be a JSON object")
+    missing = [key for key in _REQUIRED_SHARD_KEYS if key not in manifest]
+    if missing:
+        raise ManifestError(f"{path}: manifest missing fields {missing}")
+    if manifest["format_version"] != SHARD_FORMAT_VERSION:
+        raise ManifestError(
+            f"{path}: unsupported shards format_version "
+            f"{manifest['format_version']!r} (this build reads "
+            f"{SHARD_FORMAT_VERSION}); re-save the relation"
+        )
+    gen_dir = root / str(manifest["directory"])
+    if not gen_dir.is_dir():
+        raise ManifestError(
+            f"{root}: manifest names generation {manifest['directory']!r} "
+            "but that directory is missing"
+        )
+    n_shards = int(manifest["n_shards"])
+    expected = [int(n) for n in manifest["shard_records"]]
+    if n_shards < 1 or len(expected) != n_shards:
+        raise ManifestError(f"{path}: inconsistent shard geometry")
+    table = ShardedTable(
+        n_shards, partition_width=int(manifest["partition_width"])
+    )
+    table.shards = []
+    for i in range(n_shards):
+        shard = load_relation(gen_dir / f"shard-{i:03d}", verify=verify)
+        if shard.n_records != expected[i]:
+            raise ManifestError(
+                f"{root}: shard {i} holds {shard.n_records} records but the "
+                f"manifest expects {expected[i]}"
+            )
+        shard.collector = table.collector
+        table.shards.append(shard)
+        table.dropped_views.extend(shard.dropped_views)
+    table.app_meta = manifest.get("app_meta")
+    return table

@@ -118,6 +118,15 @@ class MasterRelation:
     def n_records(self) -> int:
         return self._n_records
 
+    def shard_relations(self) -> list["MasterRelation"]:
+        """Record-range shards (the :class:`StorageBackend` seam): a plain
+        relation is its own single shard covering every record."""
+        return [self]
+
+    def shard_starts(self) -> list[int]:
+        """Global row offset of each shard; ``[0]`` for a single relation."""
+        return [0]
+
     def element_ids(self) -> list[int]:
         """All element column ids, ascending."""
         ids = set(self._pending_rows) | set(self._columns)

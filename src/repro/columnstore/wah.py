@@ -20,7 +20,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from .bitmap import Bitmap
+from .bitmap import Bitmap, popcount_words
 
 __all__ = ["WahBitmap"]
 
@@ -169,11 +169,10 @@ class WahBitmap:
         return 8 * len(self._words)
 
     def count(self) -> int:
-        total = 0
+        literals = [w & _PAYLOAD_MASK for w in self._words if w & _LITERAL_FLAG]
+        total = popcount_words(np.asarray(literals, dtype=np.uint64))
         for word in self._words:
-            if word & _LITERAL_FLAG:
-                total += bin(word & _PAYLOAD_MASK).count("1")
-            elif word & _FILL_BIT:
+            if not word & _LITERAL_FLAG and word & _FILL_BIT:
                 total += _PAYLOAD_BITS * (word & _MAX_RUN)
         # Padding bits are always zero by construction, so no correction.
         return total

@@ -18,6 +18,7 @@ from .engine import (
     GraphQueryResult,
     MaterializationReport,
     PathAggregationResult,
+    PhysicalPlan,
 )
 from .paths import Path, PathJoinError, enumerate_paths, maximal_paths
 from .query import And, AndNot, GraphQuery, Or, PathAggregationQuery, QueryExpr
@@ -63,6 +64,7 @@ __all__ = [
     "GraphQueryResult",
     "MaterializationReport",
     "PathAggregationResult",
+    "PhysicalPlan",
     "Path",
     "PathJoinError",
     "enumerate_paths",

@@ -1,0 +1,35 @@
+"""The graph-analytics engine: the paper's full stack behind one facade.
+
+Split into three layers (the facade keeps the original module's public
+surface, so ``from repro.core.engine import GraphAnalyticsEngine`` and
+previously saved engine directories keep working):
+
+* :mod:`.planner` — query → :class:`PhysicalPlan`, the serializable IR
+  shared by execution, EXPLAIN, and tracing;
+* :mod:`.operators` — physical operators (bitmap fetch, memoized
+  conjunction fold) that run against one storage backend or once per
+  record-range shard;
+* :mod:`.facade` — :class:`GraphAnalyticsEngine` itself: ingest,
+  persistence, view materialization, and result assembly over either a
+  plain or a sharded master relation.
+"""
+
+from .facade import (
+    GraphAnalyticsEngine,
+    GraphQueryResult,
+    MaterializationReport,
+    PathAggregationResult,
+)
+from .operators import ShardTask, shard_tasks
+from .planner import PhysicalPlan, Planner
+
+__all__ = [
+    "GraphAnalyticsEngine",
+    "GraphQueryResult",
+    "PathAggregationResult",
+    "MaterializationReport",
+    "PhysicalPlan",
+    "Planner",
+    "ShardTask",
+    "shard_tasks",
+]

@@ -1,18 +1,19 @@
-"""The graph-analytics engine: the paper's full stack behind one facade.
+"""The engine facade: plan, execute, and persist behind one object.
 
-Wires together the column-store substrate (master relation, bitmaps, cost
-accounting), the graph data/query model, and the view framework:
+:class:`GraphAnalyticsEngine` keeps the public surface the repo has always
+had, but internally delegates to the three layers this package separates:
 
-* :meth:`GraphAnalyticsEngine.load_records` — flatten graph records into
-  the master relation (Section 4.1);
-* :meth:`GraphAnalyticsEngine.query` / :meth:`evaluate` — answer graph
-  queries and boolean combinations via bitmap algebra (Sections 3.2, 4.2),
-  rewritten over materialized views when available (Section 5.3);
-* :meth:`GraphAnalyticsEngine.aggregate` — path-aggregation queries
-  (Section 3.4), using aggregate graph views (Section 5.1.2);
-* :meth:`GraphAnalyticsEngine.materialize_graph_views` /
-  :meth:`materialize_aggregate_views` — candidate generation + greedy
-  extended-set-cover selection under a view budget (Sections 5.2, 5.4).
+* the **planner** (:mod:`.planner`) turns queries into serializable
+  :class:`PhysicalPlan` objects — the same object the operator layer
+  executes, the EXPLAIN renderer serializes, and the tracer annotates;
+* the **operator layer** (:mod:`.operators`) evaluates a plan's canonical
+  conjunction against one storage backend — or once per record-range
+  shard, merged by order-preserving concatenation;
+* the **storage backend** (:class:`~repro.columnstore.backend.StorageBackend`)
+  is either a plain :class:`MasterRelation` or a
+  :class:`~repro.columnstore.sharded.ShardedTable` (``shards > 1``); all
+  measure gathers, view maintenance, and persistence route through its
+  interface, so the facade's query code is shard-agnostic.
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ from __future__ import annotations
 import json
 import os
 from collections.abc import Iterable, Mapping, Sequence
-from contextlib import nullcontext
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from itertools import islice
 from pathlib import Path as FsPath
@@ -28,34 +29,39 @@ from typing import Hashable
 
 import numpy as np
 
-from ..columnstore.bitmap import Bitmap
-from ..columnstore.column import MeasureColumn
-from ..columnstore.iostats import IOStats, IOStatsCollector
-from ..columnstore.persistence import load_relation, save_relation
-from ..columnstore.table import MasterRelation
-from ..errors import IngestError, ManifestError, PersistenceError
-from .aggregates import get_function
-from .candidates import (
+from ...columnstore.bitmap import Bitmap
+from ...columnstore.column import MeasureColumn
+from ...columnstore.iostats import IOStats, IOStatsCollector
+from ...columnstore.persistence import load_relation, save_relation
+from ...columnstore.sharded import (
+    SHARD_MANIFEST,
+    ShardedTable,
+    is_sharded_dir,
+    load_sharded,
+    save_sharded,
+)
+from ...columnstore.table import MasterRelation
+from ...errors import IngestError, ManifestError, PersistenceError
+from ..aggregates import get_function
+from ..candidates import (
     apriori_candidates,
     candidate_aggregate_paths,
     closed_candidates,
     intersection_closure_candidates,
 )
-from .catalog import EdgeCatalog
-from .paths import Path
-from .query import And, AndNot, GraphQuery, Or, PathAggregationQuery, QueryExpr
-from .record import Edge, GraphRecord
-from .rewrite import (
+from ..catalog import EdgeCatalog
+from ..paths import Path
+from ..query import And, AndNot, GraphQuery, Or, PathAggregationQuery, QueryExpr
+from ..record import Edge, GraphRecord
+from ..rewrite import (
     AggregationPlan,
-    ConjunctionPart,
     GraphQueryPlan,
-    canonical_parts,
-    plan_aggregation,
-    plan_graph_query,
     prune_unavailable_views,
 )
-from .setcover import greedy_select_views
-from .views import AggregateGraphView, GraphView
+from ..setcover import greedy_select_views
+from ..views import AggregateGraphView, GraphView
+from .operators import MERGED_SHARD, NULL_SPAN, conjunction, shard_tasks
+from .planner import PhysicalPlan, Planner
 
 __all__ = [
     "GraphAnalyticsEngine",
@@ -63,22 +69,6 @@ __all__ = [
     "PathAggregationResult",
     "MaterializationReport",
 ]
-
-# Shared no-op context for the tracing hooks: reusable and reentrant, so
-# one instance serves every untraced span site without allocation.
-_NULL_SPAN = nullcontext()
-
-
-def _part_token(part: "ConjunctionPart") -> str:
-    """Stable display string for a conjunction part's bitmap column."""
-    token = part.token
-    if isinstance(token, str):
-        return token
-    try:
-        u, v = token
-        return f"{u}->{v}"
-    except (TypeError, ValueError):
-        return repr(token)
 
 
 @dataclass
@@ -126,24 +116,40 @@ class MaterializationReport:
 
 
 class GraphAnalyticsEngine:
-    """Store and analyze a massive collection of small graph records."""
+    """Store and analyze a massive collection of small graph records.
 
-    def __init__(self, partition_width: int = 1000):
+    With ``shards > 1`` the master relation is horizontally partitioned
+    into that many contiguous record-range shards; query answers are
+    bit-identical to the unsharded engine, but structural conjunctions can
+    evaluate shard-by-shard (in parallel under a
+    :class:`~repro.exec.QueryExecutor`) and incremental appends rebuild
+    only the last shard.
+    """
+
+    def __init__(self, partition_width: int = 1000, shards: int = 1):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.catalog = EdgeCatalog()
         self.collector = IOStatsCollector()
-        self.relation = MasterRelation(
-            partition_width=partition_width, collector=self.collector
-        )
+        if shards > 1:
+            self.relation = ShardedTable(
+                shards, partition_width=partition_width, collector=self.collector
+            )
+        else:
+            self.relation = MasterRelation(
+                partition_width=partition_width, collector=self.collector
+            )
         self._record_ids: list = []
         self._graph_views: dict[str, GraphView] = {}
         self._agg_views: dict[str, AggregateGraphView] = {}
         self._measured_nodes: set[Hashable] = set()
         self._view_counter = 0
-        # Plan cache, invalidated whenever the view set changes (the
-        # epoch): rewriting is pure in (query, views), so repeated queries
-        # — the common case in the paper's workloads — plan once.
+        # The planner owns the plan memo, invalidated whenever the data or
+        # view set changes: rewriting is pure in (query, views, backend),
+        # so repeated queries — the common case in the paper's workloads —
+        # plan once.
         self._views_epoch = 0
-        self._plan_cache: dict = {}
+        self._planner = Planner(self)
         # State epoch: bumps on every data or view mutation.  Cached
         # structural bitmaps are keyed on it, so concurrent readers can
         # never be served a conjunction computed against an older state.
@@ -155,12 +161,21 @@ class GraphAnalyticsEngine:
         # Optional tracer (repro.obs.Tracer), installed by use_tracer();
         # None keeps every hot path on a single attribute check.
         self._tracer = None
+        # Optional parallel shard mapper, installed by a QueryExecutor via
+        # use_shard_mapper(); None evaluates shards serially in the
+        # calling thread.
+        self._shard_map = None
 
     # -- loading ------------------------------------------------------------
 
     @property
     def n_records(self) -> int:
         return self.relation.n_records
+
+    @property
+    def n_shards(self) -> int:
+        """Record-range shards in the backend (1 = unsharded)."""
+        return len(self.relation.shard_relations())
 
     @property
     def measured_nodes(self) -> frozenset[Hashable]:
@@ -175,8 +190,9 @@ class GraphAnalyticsEngine:
     def aggregate_views(self) -> dict[str, AggregateGraphView]:
         return dict(self._agg_views)
 
-    def load_records(self, records: Iterable[GraphRecord]) -> int:
-        """Append graph records row by row; returns how many were loaded."""
+    def _ingest_rows(self, records: Iterable[GraphRecord]) -> int:
+        """Append rows without rebalancing (sharded appends grow the last
+        shard only); bumps the epoch and invalidates cached plans."""
         count = 0
         for record in records:
             cells = {
@@ -187,9 +203,71 @@ class GraphAnalyticsEngine:
             self._record_ids.append(record.record_id)
             self._measured_nodes.update(record.measured_nodes())
             count += 1
-        self._plan_cache.clear()
+        self._planner.invalidate()
         self._bump_epoch()
         return count
+
+    def load_records(self, records: Iterable[GraphRecord]) -> int:
+        """Append graph records row by row; returns how many were loaded.
+
+        On a sharded engine a bulk load lands in the last shard first and
+        is then rebalanced into even record ranges (record order, and thus
+        query answers, are unchanged).  Use :meth:`append_records` for
+        incremental growth that must not move shard boundaries.
+        """
+        count = self._ingest_rows(records)
+        if self.n_shards > 1:
+            self.relation.rebalance()
+            self._bump_epoch()
+        return count
+
+    def load_records_parallel(
+        self, records: Iterable[GraphRecord], jobs: int | None = None
+    ) -> int:
+        """Bulk-load into an *empty* sharded engine with one ingest worker
+        per shard.
+
+        The record list is split into contiguous chunks (chunk *i* becomes
+        shard *i*'s record range, so global record order matches
+        :meth:`load_records` exactly) and the per-shard row appends run on
+        a thread pool.  Falls back to the serial :meth:`load_records` when
+        the engine is unsharded, already holds records, or the batch is
+        smaller than the shard count.
+        """
+        records = list(records)
+        shards = self.relation.shard_relations()
+        k = len(shards)
+        if k == 1 or self.n_records or len(records) < k:
+            return self.load_records(records)
+        # Interning mutates the shared catalog, so build each row's cell
+        # dict serially; only the per-shard row appends fan out.
+        prepared: list[list[dict[int, float]]] = [[] for _ in range(k)]
+        base, extra = divmod(len(records), k)
+        offset = 0
+        for i in range(k):
+            size = base + (1 if i < extra else 0)
+            chunk = records[offset : offset + size]
+            offset += size
+            for record in chunk:
+                prepared[i].append(
+                    {
+                        self.catalog.intern(edge): value
+                        for edge, value in record.measures().items()
+                    }
+                )
+                self._record_ids.append(record.record_id)
+                self._measured_nodes.update(record.measured_nodes())
+
+        def ingest(i: int) -> None:
+            shard = shards[i]
+            for cells in prepared[i]:
+                shard.append_row(cells)
+
+        with ThreadPoolExecutor(max_workers=jobs or k) as pool:
+            list(pool.map(ingest, range(k)))
+        self._planner.invalidate()
+        self._bump_epoch()
+        return len(records)
 
     def append_records(self, records: Iterable[GraphRecord]) -> int:
         """Append records *and incrementally maintain all views*.
@@ -198,10 +276,12 @@ class GraphAnalyticsEngine:
         contains every view element); each aggregate view gains the
         record's pre-computed path aggregate, or NULL when the record
         lacks the path.  Equivalent to rebuilding the views from scratch,
-        at O(new records × views) maintenance cost.
+        at O(new records × views) maintenance cost.  On a sharded engine
+        only the last shard grows — earlier shard boundaries (and their
+        persisted files) are untouched.
         """
         records = list(records)
-        loaded = self.load_records(records)
+        loaded = self._ingest_rows(records)
         measured = frozenset(self._measured_nodes)
         for name, view in self._graph_views.items():
             flags = [record.contains_subgraph(view.elements) for record in records]
@@ -220,7 +300,7 @@ class GraphAnalyticsEngine:
                     else:
                         cells.append(None)
                 self.relation.extend_aggregate_view(f"{name}:{stored_fn}", cells)
-        # load_records() already bumped the epoch, but the view extensions
+        # _ingest_rows() already bumped the epoch, but the view extensions
         # above changed bitmap contents again; bump once more so nothing
         # cached between the two phases can ever be served.
         self._bump_epoch()
@@ -234,7 +314,9 @@ class GraphAnalyticsEngine:
         """Vectorized bulk load: per element, parallel (row, value) arrays.
 
         The fast path used by the workload generators; equivalent to
-        :meth:`load_records` on the corresponding records.
+        :meth:`load_records` on the corresponding records.  On an empty
+        sharded engine the rows split evenly into the shards' record
+        ranges; each sparse column is routed shard-by-shard.
         """
         base = self.relation.n_records
         self.relation.set_record_count(base + len(record_ids))
@@ -246,11 +328,48 @@ class GraphAnalyticsEngine:
             )
             if edge[0] == edge[1]:
                 self._measured_nodes.add(edge[0])
-        self._plan_cache.clear()
+        self._planner.invalidate()
         self._bump_epoch()
 
     def record_ids_at(self, rows: np.ndarray) -> list:
         return [self._record_ids[i] for i in np.asarray(rows, dtype=np.int64)]
+
+    # -- sharding ------------------------------------------------------------
+
+    def reshard(self, shards: int) -> None:
+        """Re-partition the backend into ``shards`` record-range shards.
+
+        ``shards=1`` merges back into a plain in-memory relation.  Record
+        order, columns, and views are preserved bit-for-bit; the epoch
+        bumps (shard-keyed cache entries from the old geometry can never
+        be served) and cached plans are rebuilt.
+        """
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if shards == self.n_shards:
+            return
+        if shards == 1:
+            self.relation = self.relation.to_relation()
+        else:
+            self.relation = ShardedTable.from_relation(self.relation, shards)
+        self.relation.collector = self.collector
+        self._planner.invalidate()
+        self._bump_epoch()
+
+    def rebalance(self) -> None:
+        """Re-split a sharded backend into even record ranges (no-op when
+        unsharded); useful after many incremental appends."""
+        if self.n_shards > 1:
+            self.relation.rebalance()
+            self._planner.invalidate()
+            self._bump_epoch()
+
+    def use_shard_mapper(self, mapper) -> None:
+        """Install (or with ``None`` remove) a parallel shard mapper:
+        ``mapper(fn, tasks) -> list`` with results in task order.  A
+        :class:`~repro.exec.QueryExecutor` installs a thread-pool mapper;
+        without one, shards evaluate serially in the calling thread."""
+        self._shard_map = mapper
 
     # -- persistence ----------------------------------------------------------
 
@@ -264,20 +383,15 @@ class GraphAnalyticsEngine:
 
     @staticmethod
     def is_saved_engine(directory: str | FsPath) -> bool:
-        """Whether ``directory`` looks like a saved engine database."""
-        return (FsPath(directory) / "manifest.json").is_file()
-
-    def save(self, directory: str | FsPath) -> None:
-        """Persist the full engine (relation + catalog + view definitions)
-        under ``directory``, crash-safely.
-
-        The engine metadata rides inside the relation manifest, so columns,
-        views, and catalog commit in *one* atomic swap — an interrupted
-        save leaves the previous state loadable, never a torn mix.
-        """
+        """Whether ``directory`` looks like a saved engine database
+        (either the plain single-relation layout or the sharded one)."""
         directory = FsPath(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        meta = {
+        return (directory / "manifest.json").is_file() or (
+            directory / SHARD_MANIFEST
+        ).is_file()
+
+    def _engine_meta(self) -> dict:
+        return {
             "record_ids": [str(r) for r in self._record_ids],
             "edges": [list(edge) for edge in self.catalog],
             "measured_nodes": sorted(str(n) for n in self._measured_nodes),
@@ -300,20 +414,44 @@ class GraphAnalyticsEngine:
             ],
             "view_counter": self._view_counter,
         }
-        save_relation(self.relation, directory, app_meta=meta)
+
+    def save(self, directory: str | FsPath) -> None:
+        """Persist the full engine (relation + catalog + view definitions)
+        under ``directory``, crash-safely.
+
+        The engine metadata rides inside the relation manifest (the root
+        shard manifest when sharded), so columns, views, and catalog commit
+        in *one* atomic swap — an interrupted save leaves the previous
+        state loadable, never a torn mix.  A sharded engine writes one
+        full per-shard relation layout (own manifest + CRCs) per shard.
+        """
+        directory = FsPath(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        meta = self._engine_meta()
+        if isinstance(self.relation, ShardedTable):
+            save_sharded(self.relation, directory, app_meta=meta)
+        else:
+            save_relation(self.relation, directory, app_meta=meta)
 
     @classmethod
-    def load(cls, directory: str | FsPath) -> "GraphAnalyticsEngine":
-        """Reconstruct an engine saved by :meth:`save`.
+    def load(
+        cls, directory: str | FsPath, shards: int | None = None
+    ) -> "GraphAnalyticsEngine":
+        """Reconstruct an engine saved by :meth:`save` (either layout).
 
         Base columns are integrity-checked (corruption raises
         :class:`~repro.errors.CorruptionError`); views whose files were
         damaged are dropped with a warning and queries transparently fall
-        back to base bitmaps.
+        back to base bitmaps.  Pass ``shards`` to re-partition the loaded
+        engine (``shards=1`` flattens a sharded save; any other count
+        re-splits it evenly).
         """
         directory = FsPath(directory)
         engine = cls()
-        relation = load_relation(directory)
+        if is_sharded_dir(directory):
+            relation = load_sharded(directory)
+        else:
+            relation = load_relation(directory)
         relation.collector = engine.collector
         engine.relation = relation
         meta = relation.app_meta
@@ -351,13 +489,15 @@ class GraphAnalyticsEngine:
                 f"{relation.n_records} stored records"
             )
         engine.sync_views_with_relation()
+        if shards is not None:
+            engine.reshard(shards)
         return engine
 
     def sync_views_with_relation(self) -> list[str]:
         """Drop view definitions whose backing columns the relation lacks
-        (e.g. refused at load time as corrupt), so the rewriter degrades to
-        base bitmaps instead of planning against phantom views.  Returns
-        the dropped view names."""
+        (e.g. refused at load time as corrupt, in any shard), so the
+        rewriter degrades to base bitmaps instead of planning against
+        phantom views.  Returns the dropped view names."""
         dropped = prune_unavailable_views(
             self._graph_views, self._agg_views, self.relation
         )
@@ -441,7 +581,7 @@ class GraphAnalyticsEngine:
 
     def _bump_views_epoch(self) -> None:
         self._views_epoch += 1
-        self._plan_cache.clear()
+        self._planner.invalidate()
         self._bump_epoch()
 
     def _bump_epoch(self) -> None:
@@ -449,7 +589,7 @@ class GraphAnalyticsEngine:
 
         The bitmap-conjunction cache keys on the epoch, so bumping it
         atomically invalidates every cached intermediate; stale entries are
-        also proactively dropped to free their budget.
+        also proactively dropped to release their budget.
         """
         self._epoch += 1
         if self._bitmap_cache is not None:
@@ -495,150 +635,123 @@ class GraphAnalyticsEngine:
     def _span(self, name: str, **meta):
         """A tracer span when tracing is on, the shared no-op otherwise."""
         tracer = self._tracer
-        return tracer.span(name, **meta) if tracer is not None else _NULL_SPAN
+        return tracer.span(name, **meta) if tracer is not None else NULL_SPAN
+
+    # -- planning --------------------------------------------------------------
+
+    def physical_plan(self, query: GraphQuery | PathAggregationQuery) -> PhysicalPlan:
+        """The serializable physical plan for ``query`` — the single source
+        of truth shared by execution, ``repro explain``, and the tracer.
+        Memoized until the next mutation; computing it has no side effect
+        beyond warming that memo."""
+        return self._planner.physical_plan(query)
 
     def plan_query(self, query: GraphQuery) -> GraphQueryPlan:
         """The rewrite chosen for ``query`` given current views (§5.3)."""
-        key = ("graph", query)
-        plan = self._plan_cache.get(key)
-        if plan is None:
-            plan = plan_graph_query(query, self._graph_views)
-            self._plan_cache[key] = plan
-        return plan
+        return self._planner.plan_query(query)
 
-    def _fetch_part(self, part: ConjunctionPart) -> Bitmap:
-        """Fetch one conjunction input's bitmap column (counted as I/O)."""
-        if part.kind == "element":
-            bitmap = self.relation.bitmap(self.catalog.get_id(part.token))
-        elif part.kind == "graph-view":
-            bitmap = self.relation.view_bitmap(part.token)
-        else:
-            bitmap = self.relation.aggregate_view_bitmap(part.token)
-        tracer = self._tracer
-        if tracer is not None:
-            tracer.add("bitmaps_fetched")
-            tracer.add("bytes_touched", bitmap.nbytes())
-        return bitmap
-
-    @staticmethod
-    def _prefix_keys(parts: list[ConjunctionPart]) -> list[frozenset[Edge]]:
-        """Cumulative covered edge-sets, one per canonical-order prefix.
-
-        These are the conjunction cache keys.  Building them is O(k^2) in
-        query size, so callers memoize the result alongside the plan —
-        repeated queries then pay a single cached-hash dict lookup.
-        """
-        keys: list[frozenset[Edge]] = []
-        covered: frozenset[Edge] = frozenset()
-        for part in parts:
-            covered = covered | part.covered
-            keys.append(covered)
-        return keys
-
-    def _conjunction(
-        self,
-        parts: list[ConjunctionPart],
-        keys: list[frozenset[Edge]],
-    ) -> Bitmap:
-        """AND the parts' bitmaps, memoizing intermediates when a cache is
-        installed.
-
-        Cached entries are keyed on ``(epoch, cumulative covered edge-set)``
-        — well-defined because every part's bitmap equals the AND of its
-        covered elements' base bitmaps.  Evaluation folds left in canonical
-        part order, looking up each running prefix, so overlapping queries
-        (ordered together by the executor) extend each other's cached
-        prefixes instead of recomputing from scratch.
-        """
-        cache = self._bitmap_cache
-        tracer = self._tracer
-        if cache is None or any(not part.covered for part in parts):
-            if tracer is None:
-                return Bitmap.and_all(self._fetch_part(part) for part in parts)
-
-            def fetch_traced(part: ConjunctionPart) -> Bitmap:
-                with tracer.span("and", kind=part.kind, part=_part_token(part)):
-                    return self._fetch_part(part)
-
-            return Bitmap.and_all(fetch_traced(part) for part in parts)
-        epoch = self._epoch
-
-        def build(i: int) -> Bitmap:
-            def compute() -> Bitmap:
-                if tracer is not None:
-                    tracer.add("cache_miss")
-                bitmap = self._fetch_part(parts[i])
-                return bitmap if i == 0 else build(i - 1) & bitmap
-
-            if tracer is None:
-                return cache.get_or_compute(epoch, keys[i], compute)
-            # One span per conjunction part: a prefix served from cache
-            # closes immediately with cache_hit=1; a miss nests the fetch
-            # (and the shorter prefix's span) inside it.
-            with tracer.span(
-                "and", kind=parts[i].kind, part=_part_token(parts[i])
-            ) as span:
-                result = cache.get_or_compute(epoch, keys[i], compute)
-                if "cache_miss" not in span.counters:
-                    span.add("cache_hit")
-                return result
-
-        return build(len(parts) - 1)
-
-    def _graph_query_parts(
-        self, plan: GraphQueryPlan
-    ) -> list[ConjunctionPart] | None:
-        """Conjunction inputs for a graph-query plan, canonically ordered;
-        None when a residual element has no column (empty answer)."""
-        parts = [
-            ConjunctionPart("graph-view", name, self._graph_views[name].elements)
-            for name in plan.view_names
-        ]
-        for element in plan.residual_elements:
-            edge_id = self.catalog.get_id(element)
-            if edge_id is None or not self.relation.has_element(edge_id):
-                return None
-            parts.append(ConjunctionPart("element", element, frozenset((element,))))
-        return canonical_parts(parts)
-
-    def _graph_conjunction_inputs(self, query: GraphQuery):
-        """(plan, parts, prefix keys) for ``query``, memoized in the plan
-        cache — safe because the plan cache is cleared on *every* mutation
-        (loads, appends, and view changes all invalidate it)."""
-        key = ("graph-parts", query)
-        cached = self._plan_cache.get(key)
-        if cached is None:
-            plan = self.plan_query(query)
-            parts = self._graph_query_parts(plan)
-            keys = self._prefix_keys(parts) if parts else None
-            cached = (plan, parts, keys)
-            self._plan_cache[key] = cached
-        return cached
+    def plan_aggregation(self, query: PathAggregationQuery) -> AggregationPlan:
+        return self._planner.plan_aggregation(query)
 
     def conjunction_inputs(self, query: GraphQuery | PathAggregationQuery):
         """Public introspection: ``(plan, canonical parts, prefix keys)``.
 
-        The exact inputs :meth:`query`/:meth:`aggregate` would AND —
+        The exact inputs :meth:`query`/:meth:`aggregate` AND together —
         ``parts`` is None when a residual element has no column (the
-        answer is empty without touching any bitmap).  Used by the
-        EXPLAIN renderer (:mod:`repro.obs.explain`); computing it has no
-        side effect beyond warming the plan cache.
+        answer is empty without touching any bitmap).  These are fields of
+        the memoized :meth:`physical_plan`, kept as a tuple for backwards
+        compatibility.
         """
-        if isinstance(query, PathAggregationQuery):
-            return self._aggregation_conjunction_inputs(query)
-        if isinstance(query, GraphQuery):
-            return self._graph_conjunction_inputs(query)
-        raise TypeError(f"cannot plan {type(query).__name__}")
+        plan = self._planner.physical_plan(query)
+        return plan.logical, plan.parts, plan.prefix_keys
+
+    # -- conjunction execution -------------------------------------------------
+
+    def _conjunction(self, parts, keys) -> Bitmap:
+        """Legacy single-backend fold (also shard 0 of the key space)."""
+        return conjunction(
+            self.relation,
+            self.catalog,
+            parts,
+            keys,
+            self._bitmap_cache,
+            self._epoch,
+            shard=0,
+            tracer=self._tracer,
+        )
+
+    def _conjunction_over_backend(self, parts, keys) -> Bitmap:
+        """Evaluate the canonical conjunction over the storage backend.
+
+        Unsharded backends use the single fold unchanged.  Sharded ones
+        fold once per record-range shard — through the executor-installed
+        parallel mapper when present, else serially — and concatenate the
+        per-shard segments, which *is* the order-preserving merge because
+        shards partition the record space contiguously and in order.  With
+        a tracer installed the shards run serially so each shard's spans
+        nest as children of the current query span.
+
+        The *merged* bitmap is additionally cached under the
+        :data:`~repro.core.engine.operators.MERGED_SHARD` sentinel key, so
+        a warm repeat of a hot query skips the whole fan-out and merge —
+        with many shards the per-query concatenation costs as much as the
+        conjunctions it combines.  Traced queries bypass the merged entry
+        (never the per-shard ones) so their span tree always shows the
+        real per-shard execution.
+        """
+        tasks = shard_tasks(self.relation)
+        if len(tasks) == 1:
+            return self._conjunction(parts, keys)
+        cache = self._bitmap_cache
+        if cache is not None and keys and self._tracer is None:
+            return cache.get_or_compute(
+                self._epoch,
+                keys[-1],
+                lambda: self._merge_shards(parts, keys, tasks),
+                shard=MERGED_SHARD,
+            )
+        return self._merge_shards(parts, keys, tasks)
+
+    def _merge_shards(self, parts, keys, tasks) -> Bitmap:
+        """Fold the conjunction once per shard and concatenate in order."""
+        cache, epoch, catalog = self._bitmap_cache, self._epoch, self.catalog
+        tracer = self._tracer
+        if tracer is not None:
+            segments = []
+            for task in tasks:
+                with tracer.span("shard", shard=task.shard):
+                    segments.append(
+                        conjunction(
+                            task.relation,
+                            catalog,
+                            parts,
+                            keys,
+                            cache,
+                            epoch,
+                            shard=task.shard,
+                            tracer=tracer,
+                        )
+                    )
+            return Bitmap.concat(segments)
+
+        def run(task):
+            return conjunction(
+                task.relation, catalog, parts, keys, cache, epoch, shard=task.shard
+            )
+
+        mapper = self._shard_map
+        segments = [run(t) for t in tasks] if mapper is None else mapper(run, tasks)
+        return Bitmap.concat(segments)
 
     def _structural_bitmap(self, query: GraphQuery) -> tuple[Bitmap, GraphQueryPlan]:
         tracer = self._tracer
         if tracer is None:
-            plan, parts, keys = self._graph_conjunction_inputs(query)
+            plan, parts, keys = self.conjunction_inputs(query)
             if not parts:
                 return self._empty_bitmap(), plan
-            return self._conjunction(parts, keys), plan
+            return self._conjunction_over_backend(parts, keys), plan
         with tracer.span("rewrite"):
-            plan, parts, keys = self._graph_conjunction_inputs(query)
+            plan, parts, keys = self.conjunction_inputs(query)
             tracer.add("views_used", len(plan.view_names))
             tracer.add("residual_elements", len(plan.residual_elements))
         with tracer.span("conjunction") as span:
@@ -646,7 +759,7 @@ class GraphAnalyticsEngine:
                 span.add("rows_matched", 0)
                 span.meta["short_circuit"] = "unindexed-element"
                 return self._empty_bitmap(), plan
-            bitmap = self._conjunction(parts, keys)
+            bitmap = self._conjunction_over_backend(parts, keys)
             span.add("bitmaps_anded", len(parts))
             span.add("rows_matched", bitmap.count())
             return bitmap, plan
@@ -742,59 +855,6 @@ class GraphAnalyticsEngine:
 
     # -- path aggregation ---------------------------------------------------------------
 
-    def plan_aggregation(self, query: PathAggregationQuery) -> AggregationPlan:
-        key = ("agg", query)
-        plan = self._plan_cache.get(key)
-        if plan is None:
-            plan = plan_aggregation(
-                query,
-                self._agg_views,
-                self._graph_views,
-                frozenset(self._measured_nodes),
-            )
-            self._plan_cache[key] = plan
-        return plan
-
-    def _aggregation_parts(
-        self, plan: AggregationPlan
-    ) -> list[ConjunctionPart] | None:
-        """Conjunction inputs for an aggregation plan's structural condition;
-        None when a residual element has no column (empty answer)."""
-        measured = frozenset(self._measured_nodes)
-        parts = []
-        for name in plan.structural_agg_view_names:
-            view = self._agg_views[name]
-            parts.append(
-                ConjunctionPart(
-                    "agg-view",
-                    view.column_names()[0],
-                    frozenset(view.elements(measured)),
-                )
-            )
-        for name in plan.structural_view_names:
-            parts.append(
-                ConjunctionPart("graph-view", name, self._graph_views[name].elements)
-            )
-        for element in plan.residual_elements:
-            edge_id = self.catalog.get_id(element)
-            if edge_id is None or not self.relation.has_element(edge_id):
-                return None
-            parts.append(ConjunctionPart("element", element, frozenset((element,))))
-        return canonical_parts(parts)
-
-    def _aggregation_conjunction_inputs(self, query: PathAggregationQuery):
-        """(plan, parts, prefix keys) for ``query``, memoized like
-        :meth:`_graph_conjunction_inputs`."""
-        key = ("agg-parts", query)
-        cached = self._plan_cache.get(key)
-        if cached is None:
-            plan = self.plan_aggregation(query)
-            parts = self._aggregation_parts(plan)
-            keys = self._prefix_keys(parts) if parts else None
-            cached = (plan, parts, keys)
-            self._plan_cache[key] = cached
-        return cached
-
     def _segment_partial(
         self,
         view: AggregateGraphView,
@@ -837,7 +897,7 @@ class GraphAnalyticsEngine:
     def _aggregate_impl(self, query: PathAggregationQuery) -> PathAggregationResult:
         tracer = self._tracer
         with self._span("rewrite"):
-            plan, parts, keys = self._aggregation_conjunction_inputs(query)
+            plan, parts, keys = self.conjunction_inputs(query)
             if tracer is not None:
                 tracer.add("views_used", len(plan.structural_view_names))
                 tracer.add("agg_views_used", len(plan.structural_agg_view_names))
@@ -846,7 +906,7 @@ class GraphAnalyticsEngine:
             rows = np.empty(0, dtype=np.int64)
         else:
             with self._span("conjunction") as span:
-                bitmap = self._conjunction(parts, keys)
+                bitmap = self._conjunction_over_backend(parts, keys)
                 rows = bitmap.to_indices()
                 if tracer is not None:
                     span.add("bitmaps_anded", len(parts))
@@ -1052,7 +1112,7 @@ class GraphAnalyticsEngine:
         tracer and the measured counters + span tree are attached
         (EXPLAIN ANALYZE).  ``fmt`` selects ``"text"`` or ``"json"``.
         """
-        from ..obs.explain import explain as _explain
+        from ...obs.explain import explain as _explain
 
         return _explain(self, query, analyze=analyze, fmt=fmt)
 

@@ -5,7 +5,9 @@ memoizes intermediate bitmap conjunctions across queries (keyed on
 canonical covered edge-sets plus the engine's state epoch), and
 :class:`QueryExecutor` fans query batches/streams out over a thread pool
 with cache-affinity ordering and reader/writer isolation against
-concurrent appends and view changes.
+concurrent appends and view changes.  Against a sharded backend the
+executor also parallelizes each query's conjunction across record-range
+shards (cache keys gain the shard id; merges preserve record order).
 """
 
 from .cache import BitmapCache, CacheStats

@@ -5,9 +5,10 @@ shows that sharing common conjunctions via materialized views multiplies
 throughput (Section 5.1).  :class:`BitmapCache` applies the same idea at
 *runtime*: intermediate conjunction results are memoized under a byte
 budget, keyed on the canonical frozen edge-set they certify plus the
-engine's state epoch, so overlapping queries in a workload (and the
-rewriter's partial covers) reuse each other's work instead of re-ANDing
-the same columns.
+engine's state epoch (and the record-range shard id when the engine is
+sharded), so overlapping queries in a workload (and the rewriter's
+partial covers) reuse each other's work instead of re-ANDing the same
+columns.
 
 Keying on covered edge-sets is sound because every conjunction input — a
 base ``b_i`` bitmap, a graph-view ``bv_j``, or an aggregate-view ``bp_l``
@@ -37,7 +38,11 @@ from ..core.record import Edge
 
 __all__ = ["BitmapCache", "CacheStats"]
 
-CacheKey = tuple[int, frozenset]
+# (epoch, shard, covered elements); shard 0 is the whole relation when the
+# engine is unsharded, or the first record-range shard when it is — the two
+# never coexist in one engine lifetime without an epoch bump, so keys from
+# the two regimes cannot collide.
+CacheKey = tuple[int, int, frozenset]
 
 
 @dataclass
@@ -127,8 +132,10 @@ class BitmapCache:
         epoch: int,
         elements: frozenset[Edge],
         compute: Callable[[], Bitmap],
+        shard: int = 0,
     ) -> Bitmap:
-        """Return the conjunction bitmap for ``elements`` at ``epoch``,
+        """Return the conjunction bitmap for ``elements`` at ``epoch``
+        (restricted to record-range ``shard`` when the engine is sharded),
         computing and caching it on a miss.
 
         ``compute`` runs outside the cache lock, so it may recurse into the
@@ -136,7 +143,7 @@ class BitmapCache:
         Concurrent misses on the same key may both compute; the last insert
         wins and both callers get correct bitmaps.
         """
-        key = (epoch, elements)
+        key = (epoch, shard, elements)
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
@@ -156,9 +163,11 @@ class BitmapCache:
         self._insert(key, bitmap)
         return bitmap
 
-    def lookup(self, epoch: int, elements: frozenset[Edge]) -> Bitmap | None:
+    def lookup(
+        self, epoch: int, elements: frozenset[Edge], shard: int = 0
+    ) -> Bitmap | None:
         """Probe without computing (still counted as a hit or miss)."""
-        key = (epoch, elements)
+        key = (epoch, shard, elements)
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:

@@ -9,6 +9,12 @@ behind ``Bitmap.__and__`` release the GIL, so bitmap-heavy workloads scale
 with cores — while a shared :class:`BitmapCache` lets overlapping queries
 reuse each other's intermediate conjunctions.
 
+When the engine's backend is sharded (``GraphAnalyticsEngine(shards=N)``),
+the executor additionally installs a shard mapper on the engine: each
+query's structural conjunction then fans out across the record-range
+shards on a *separate* dedicated pool (so batch workers never deadlock
+waiting on their own pool) and merges by concatenation.
+
 Two scheduling decisions matter for the cache:
 
 * **Affinity ordering** — each batch is executed in canonical element-set
@@ -158,8 +164,17 @@ class QueryExecutor:
         engine.use_bitmap_cache(cache)
         if registry is not None:
             engine.use_metrics(registry)
+            registry.gauge("engine.shards").set(getattr(engine, "n_shards", 1))
         self._rw = _ReadWriteLock()
         self._pool = ThreadPoolExecutor(max_workers=jobs) if jobs > 1 else None
+        # Shard fan-out uses its own pool: batch workers submitting shard
+        # tasks back into their own pool could exhaust it and deadlock.
+        self._shard_pool = None
+        if jobs > 1 and getattr(engine, "n_shards", 1) > 1:
+            self._shard_pool = ThreadPoolExecutor(
+                max_workers=min(jobs, engine.n_shards), thread_name_prefix="shard"
+            )
+            engine.use_shard_mapper(self._run_shards)
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -170,6 +185,17 @@ class QueryExecutor:
         self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+        if self._shard_pool is not None:
+            self.engine.use_shard_mapper(None)
+            self._shard_pool.shutdown(wait=True)
+
+    def _run_shards(self, fn, tasks) -> list:
+        """Parallel shard mapper installed on the engine: evaluate one
+        plan's per-shard conjunctions concurrently, results in shard
+        order (list() re-raises the first worker exception)."""
+        if self.registry is not None:
+            self.registry.counter("exec.shard_tasks").inc(len(tasks))
+        return list(self._shard_pool.map(fn, tasks))
 
     def __enter__(self) -> "QueryExecutor":
         return self

@@ -1,11 +1,14 @@
 """EXPLAIN plans: render the chosen rewrite without executing it.
 
-``explain(engine, query)`` describes how the engine *would* answer a
-query — which materialized views the set-cover rewriter chose, the
-residual base bitmaps, the canonical conjunction order the cache keys on,
-and the estimated partition-spanning joins (§6.1) — as deterministic text
-or JSON.  Nothing is fetched and no I/O counters move, so the output is a
-stable, goldenable contract of the planner.
+``explain(engine, query)`` serializes the **same**
+:class:`~repro.core.PhysicalPlan` object the operator layer executes —
+``engine.physical_plan(query)`` is the single source of truth, and this
+module only formats its IR dict (no independent re-derivation) — as
+deterministic text or JSON: which materialized views the set-cover
+rewriter chose, the residual base bitmaps, the canonical conjunction
+order the cache keys on, the backend's shard count, and the estimated
+partition-spanning joins (§6.1).  Nothing is fetched and no I/O counters
+move, so the output is a stable, goldenable contract of the planner.
 
 ``explain(..., analyze=True)`` additionally executes the query under a
 temporary :class:`~repro.obs.trace.Tracer` and attaches the measured
@@ -18,144 +21,19 @@ from __future__ import annotations
 import json
 
 from ..core.query import GraphQuery, PathAggregationQuery
-from ..core.sqlgen import render_aggregation, render_graph_query
 from .trace import Tracer
 
 __all__ = ["explain", "explain_dict", "render_plan_text"]
 
 
-def _edge_str(edge) -> str:
-    try:
-        u, v = edge
-        return f"{u}->{v}"
-    except (TypeError, ValueError):
-        return repr(edge)
-
-
-def _edges(elements) -> list[str]:
-    return sorted(_edge_str(e) for e in elements)
-
-
-def _token_str(part) -> str:
-    return part.token if isinstance(part.token, str) else _edge_str(part.token)
-
-
-def _conjunction_dicts(parts) -> list[dict]:
-    out = []
-    for part in parts or []:
-        out.append(
-            {
-                "kind": part.kind,
-                "token": _token_str(part),
-                "covers": _edges(part.covered),
-            }
-        )
-    return out
-
-
-def _partition_estimate(engine, elements) -> dict:
-    """Partitions the query's element columns span, per the §6.1 layout.
-
-    Unknown elements (no column) occupy no partition; a query spanning k
-    partitions pays k-1 recid re-joins at measure-fetch time.
-    """
-    known_ids = []
-    for element in elements:
-        edge_id = engine.catalog.get_id(element)
-        if edge_id is not None and engine.relation.has_element(edge_id):
-            known_ids.append(edge_id)
-    spanned = len(engine.relation.partitions_for(known_ids)) if known_ids else 0
-    return {"spanned": spanned, "estimated_joins": max(spanned - 1, 0)}
-
-
-def _graph_plan_dict(engine, query: GraphQuery) -> dict:
-    plan = engine.plan_query(query)
-    _, parts, _ = engine.conjunction_inputs(query)
-    views = engine.graph_views
-    return {
-        "type": "graph-query",
-        "query": " & ".join(_edges(query.elements)),
-        "elements": _edges(query.elements),
-        "views": [
-            {"name": name, "covers": _edges(views[name].elements)}
-            for name in sorted(plan.view_names)
-        ],
-        "residual_elements": _edges(plan.residual_elements),
-        "conjunction": _conjunction_dicts(parts),
-        "answerable": parts is not None,
-        "structural_columns": plan.n_structural_columns(),
-        "saved_columns": plan.saved_columns(),
-        "measure_columns": len(plan.fetch_elements),
-        "partitions": _partition_estimate(engine, plan.fetch_elements),
-        "sql": render_graph_query(plan, engine.catalog),
-    }
-
-
-def _aggregation_plan_dict(engine, query: PathAggregationQuery) -> dict:
-    plan = engine.plan_aggregation(query)
-    _, parts, _ = engine.conjunction_inputs(query)
-    measured = engine.measured_nodes
-    agg_views = engine.aggregate_views
-    graph_views = engine.graph_views
-    path_dicts = []
-    for path_plan in plan.path_plans:
-        segments = []
-        for segment in path_plan.segments:
-            if segment.kind == "view":
-                view = agg_views[segment.view_name]
-                segments.append(
-                    {
-                        "kind": "view",
-                        "name": segment.view_name,
-                        "covers": _edges(view.elements(measured)),
-                    }
-                )
-            else:
-                segments.append(
-                    {"kind": "raw", "element": _edge_str(segment.element)}
-                )
-        path_dicts.append({"path": str(path_plan.path), "segments": segments})
-    return {
-        "type": "path-aggregation",
-        "query": " & ".join(_edges(query.query.elements)),
-        "function": query.function,
-        "elements": _edges(query.query.elements),
-        "aggregate_views": [
-            {
-                "name": name,
-                "columns": list(agg_views[name].column_names()),
-                "covers": _edges(agg_views[name].elements(measured)),
-            }
-            for name in sorted(plan.structural_agg_view_names)
-        ],
-        "views": [
-            {"name": name, "covers": _edges(graph_views[name].elements)}
-            for name in sorted(plan.structural_view_names)
-        ],
-        "residual_elements": _edges(plan.residual_elements),
-        "conjunction": _conjunction_dicts(parts),
-        "answerable": parts is not None,
-        "paths": path_dicts,
-        "structural_columns": plan.n_structural_columns(),
-        "measure_columns": plan.n_measure_columns(),
-        "segments": dict(
-            zip(("view", "raw"), plan.segment_counts(), strict=True)
-        ),
-        "partitions": _partition_estimate(engine, query.query.elements),
-        "sql": render_aggregation(plan, engine.catalog),
-    }
-
-
 def explain_dict(engine, query, analyze: bool = False) -> dict:
-    """Structured plan for ``query``; with ``analyze`` the query is also
-    executed under a temporary tracer and the measured counters + span tree
-    are attached under ``"execution"``."""
-    if isinstance(query, PathAggregationQuery):
-        plan = _aggregation_plan_dict(engine, query)
-    elif isinstance(query, GraphQuery):
-        plan = _graph_plan_dict(engine, query)
-    else:
+    """Structured plan for ``query``: the executed physical plan's own IR
+    (``engine.physical_plan(query).to_dict()``); with ``analyze`` the query
+    is also executed under a temporary tracer and the measured counters +
+    span tree are attached under ``"execution"``."""
+    if not isinstance(query, (GraphQuery, PathAggregationQuery)):
         raise TypeError(f"cannot explain {type(query).__name__}")
+    plan = engine.physical_plan(query).to_dict()
     if analyze:
         plan["execution"] = _analyze(engine, query)
     return plan
@@ -236,6 +114,10 @@ def render_plan_text(plan: dict) -> str:
         f"  partitions: {partitions['spanned']} "
         f"(estimated joins: {partitions['estimated_joins']})"
     )
+    # Sharding only changes *where* the conjunction runs, never the answer;
+    # keep unsharded plan text byte-stable and annotate only when it's on.
+    if plan.get("shards", 1) > 1:
+        lines.append(f"  shards: {plan['shards']} (record-range parallel)")
     execution = plan.get("execution")
     if execution is not None:
         lines.append(

@@ -330,6 +330,86 @@ class TestPopcountPaths:
             assert bm.count() == bm._count_lut()
 
 
+class TestSliceConcat:
+    """``slice``/``concat`` are the shard partition/merge primitives:
+    concat of the per-shard slices must reproduce the original bitmap."""
+
+    def test_slice_extracts_range(self):
+        bm = Bitmap.from_indices(100, [5, 63, 64, 99])
+        part = bm.slice(60, 70)
+        assert part.length == 10
+        assert part.to_indices().tolist() == [3, 4]
+
+    def test_slice_empty_range(self):
+        assert Bitmap.ones(10).slice(4, 4).length == 0
+
+    def test_slice_out_of_range(self):
+        bm = Bitmap.zeros(10)
+        with pytest.raises(IndexError):
+            bm.slice(-1, 5)
+        with pytest.raises(IndexError):
+            bm.slice(0, 11)
+        with pytest.raises(IndexError):
+            bm.slice(7, 3)
+
+    def test_concat_empty_and_single(self):
+        assert Bitmap.concat([]).length == 0
+        bm = Bitmap.from_indices(10, [2])
+        assert Bitmap.concat([bm]) is bm
+
+    def test_concat_joins_in_order(self):
+        a = Bitmap.from_bools([True, False])
+        b = Bitmap.from_bools([False, True, True])
+        joined = Bitmap.concat([a, b])
+        assert joined.length == 5
+        assert joined.to_indices().tolist() == [0, 3, 4]
+
+    @given(index_sets(), st.lists(st.integers(0, 300), max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_concat_of_slices_is_identity(self, pair, raw_cuts):
+        length, indices = pair
+        bm = Bitmap.from_indices(length, indices)
+        cuts = sorted({min(c, length) for c in raw_cuts})
+        bounds = [0, *cuts, length]
+        parts = [
+            bm.slice(lo, hi) for lo, hi in zip(bounds, bounds[1:]) if hi >= lo
+        ]
+        assert Bitmap.concat(parts) == bm
+
+    @given(index_sets(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_count_distributes_over_slices(self, pair, data):
+        length, indices = pair
+        cut = data.draw(st.integers(min_value=0, max_value=length))
+        bm = Bitmap.from_indices(length, indices)
+        assert bm.slice(0, cut).count() + bm.slice(cut, length).count() == (
+            bm.count()
+        )
+
+
+class TestPopcountHelper:
+    """``popcount_words`` is the single popcount shared by Bitmap and the
+    WAH codec; its two implementations must agree on any word array."""
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=32))
+    @settings(max_examples=60, deadline=None)
+    def test_force_lut_matches_default(self, values):
+        import numpy as np
+
+        from repro.columnstore import popcount_words
+
+        words = np.array(values, dtype=np.uint64)
+        expected = sum(bin(v).count("1") for v in values)
+        assert popcount_words(words) == expected
+        assert popcount_words(words, force_lut=True) == expected
+
+    def test_wah_count_uses_shared_popcount(self):
+        from repro.columnstore import WahBitmap
+
+        bm = Bitmap.from_indices(1000, [0, 63, 64, 500, 999])
+        assert WahBitmap.from_dense(bm).count() == bm.count() == 5
+
+
 class TestContentKey:
     def test_equal_bitmaps_share_key(self):
         a = Bitmap.from_indices(100, [1, 5, 99])

@@ -164,6 +164,70 @@ def test_serving_config_matches_rowstore(config, records, workload, baseline):
         )
 
 
+SHARD_CONFIGS = list(
+    itertools.product(
+        [1, 2, 4],                     # record-range shards
+        [0, 16],                       # cache budget (MB); 0 = off
+        ["materialized", "dropped"],   # view state
+    )
+)
+
+
+def _shard_config_id(config):
+    shards, cache_mb, views = config
+    return f"shards{shards}-cache{cache_mb}-{views}"
+
+
+@pytest.mark.parametrize(
+    "config", SHARD_CONFIGS, ids=map(_shard_config_id, SHARD_CONFIGS)
+)
+def test_sharded_serving_matches_rowstore(config, records, workload, baseline):
+    """Horizontal sharding must be invisible: every shard count, with and
+    without the (shard-keyed) cache and with views live or dropped, returns
+    bit-identical answers to the unsharded reference."""
+    shards, cache_mb, views = config
+    graph_queries, agg_queries = workload
+    expected_graph, expected_agg = baseline
+    engine = GraphAnalyticsEngine(shards=shards)
+    engine.load_records(records)
+    engine.materialize_graph_views(graph_queries[:10], budget=3)
+    engine.materialize_aggregate_views(
+        as_aggregate_queries(graph_queries[:6]), budget=2
+    )
+    if views == "dropped":
+        engine.drop_all_views()
+    cache = BitmapCache(cache_mb << 20) if cache_mb else None
+    with QueryExecutor(engine, jobs=2, cache=cache) as executor:
+        results = executor.run_batch(list(graph_queries) + list(agg_queries))
+    for query, result, expected in zip(
+        graph_queries, results[: len(graph_queries)], expected_graph
+    ):
+        assert_graph_result_matches(result, expected, query)
+    for query, result, expected in zip(
+        agg_queries, results[len(graph_queries):], expected_agg
+    ):
+        assert_aggregation_matches(result, expected, query)
+
+
+def test_sharded_append_then_serve_matches_fresh_rowstore(records, workload):
+    """Epoch-bumping appends against a sharded backend (new records extend
+    the last shard; views extend incrementally) keep answers identical to a
+    reference loaded from scratch."""
+    graph_queries, _ = workload
+    half = len(records) // 2
+    engine = GraphAnalyticsEngine(shards=4)
+    engine.load_records(records[:half])
+    engine.materialize_graph_views(graph_queries[:10], budget=3)
+    with QueryExecutor(engine, jobs=4, cache_mb=16) as executor:
+        executor.run_batch(graph_queries, fetch_measures=False)  # warm
+        executor.append_records(records[half:])
+        results = executor.run_batch(graph_queries)
+    store = RowStore()
+    store.load_records(records)
+    for query, result in zip(graph_queries, results):
+        assert_graph_result_matches(result, store.query(query), query)
+
+
 def test_append_then_serve_matches_fresh_rowstore(records, workload):
     """Differential across a mutation: answers after an append (with views
     live and the cache warm) must equal a reference loaded from scratch."""
@@ -243,6 +307,27 @@ class TestPropertyDifferential:
         for query, result in zip(queries, results):
             expected = [r.record_id for r in records if query.matches(r)]
             assert result.record_ids == expected
+
+    @given(small_collections(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_shard_merge_preserves_order_and_measures(self, case, shards):
+        """The shard-merge combiner (concatenation in shard order) must
+        preserve global record order *and* every measure value for any
+        collection and any shard count — including counts exceeding the
+        record count, where trailing shards are empty."""
+        records, queries = case
+        oracle = GraphAnalyticsEngine()
+        oracle.load_records(records)
+        engine = GraphAnalyticsEngine(shards=shards)
+        engine.load_records(records)
+        for query in queries:
+            expected = oracle.query(query)
+            got = engine.query(query)
+            assert got.record_ids == expected.record_ids
+            assert got.measures.keys() == expected.measures.keys()
+            for element, values in expected.measures.items():
+                for a, b in zip(values, got.measures[element]):
+                    assert (math.isnan(a) and math.isnan(b)) or a == b
 
     @given(small_collections())
     @settings(max_examples=20, deadline=None)

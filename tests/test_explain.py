@@ -139,3 +139,49 @@ class TestExplainContract:
             explain(fig2_engine, parse_query("A -> D -> E"), fmt="json")
         )
         assert payload["type"] == "graph-query"
+
+
+class TestPhysicalPlanIsSourceOfTruth:
+    """EXPLAIN must render the *same* PhysicalPlan object the operator
+    layer executes — not an independently re-derived plan."""
+
+    def test_executed_plan_is_explained_plan(self, fig2_engine):
+        query = parse_query("A -> D -> E")
+        physical = fig2_engine.physical_plan(query)
+        # The executed query carries the identical logical plan object,
+        # and explain_dict is exactly the physical plan's own IR.
+        assert fig2_engine.query(query).plan is physical.logical
+        assert explain_dict(fig2_engine, query) == physical.to_dict()
+
+    def test_aggregation_plan_identity(self, fig2_engine):
+        query = parse_aggregation("SUM E -> F -> G")
+        physical = fig2_engine.physical_plan(query)
+        assert fig2_engine.aggregate(query).plan is physical.logical
+        assert explain_dict(fig2_engine, query) == physical.to_dict()
+
+    def test_memo_invalidated_on_mutation(self, fig2_engine):
+        from repro.core import GraphRecord
+
+        query = parse_query("A -> D -> E")
+        before = fig2_engine.physical_plan(query)
+        fig2_engine.append_records(
+            [GraphRecord("extra", {("A", "D"): 1.0, ("D", "E"): 2.0})]
+        )
+        after = fig2_engine.physical_plan(query)
+        assert after is not before
+        assert after.epoch > before.epoch
+
+    def test_analyze_does_not_pollute_memo(self, fig2_engine):
+        query = parse_query("A -> D -> E")
+        explain_dict(fig2_engine, query, analyze=True)
+        # The analyze annotation edits a deep copy, never the memoized IR.
+        assert "execution" not in fig2_engine.physical_plan(query).to_dict()
+
+    def test_plan_reports_shard_count(self):
+        engine = GraphAnalyticsEngine(shards=3)
+        engine.load_records(read_jsonl(EXAMPLES / "figure2.jsonl"))
+        plan = explain_dict(engine, parse_query("A -> D -> E"))
+        assert plan["shards"] == 3
+        assert "shards: 3 (record-range parallel)" in explain(
+            engine, parse_query("A -> D -> E")
+        )
