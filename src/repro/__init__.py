@@ -43,11 +43,28 @@ from .exec import BitmapCache, CacheStats, QueryExecutor
 from .advisor import AdaptiveViewAdvisor
 from .dsl import QuerySyntaxError, parse_aggregation, parse_query
 from .errors import (
+    AdmissionRejectedError,
+    CircuitOpenError,
     CorruptionError,
     IngestError,
     ManifestError,
     PersistenceError,
+    QueryCancelledError,
+    QueryTimeoutError,
     ReproError,
+    ResilienceError,
+    ShardExecutionError,
+)
+from .resilience import (
+    AdmissionController,
+    CancelToken,
+    CircuitBreaker,
+    Deadline,
+    DegradedReport,
+    QueryContext,
+    ResiliencePolicy,
+    SkippedShard,
+    retry_with_backoff,
 )
 from .io import (
     QuarantineEntry,
@@ -69,6 +86,21 @@ __all__ = [
     "BitmapCache",
     "CacheStats",
     "QueryExecutor",
+    "AdmissionController",
+    "AdmissionRejectedError",
+    "CancelToken",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DegradedReport",
+    "QueryCancelledError",
+    "QueryContext",
+    "QueryTimeoutError",
+    "ResilienceError",
+    "ResiliencePolicy",
+    "ShardExecutionError",
+    "SkippedShard",
+    "retry_with_backoff",
     "CorruptionError",
     "IngestError",
     "ManifestError",

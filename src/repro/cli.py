@@ -35,11 +35,23 @@ from pathlib import Path as FsPath
 from .columnstore import relation_disk_usage
 from .core import GraphAnalyticsEngine
 from .dsl import parse_aggregation, parse_query
-from .errors import ReproError
+from .errors import (
+    AdmissionRejectedError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ReproError,
+    ShardExecutionError,
+)
 from .exec import QueryExecutor
 from .io import QuarantineReport, ingest_records, read_csv_triplets, read_jsonl
 
 __all__ = ["main"]
+
+# Exit codes: 0 ok, 2 usage/data error (argparse convention), then one code
+# per resilience failure class so scripts can branch without parsing stderr.
+EXIT_TIMEOUT = 3
+EXIT_ADMISSION = 4
+EXIT_SHARD = 5
 
 
 def _load_engine(
@@ -50,9 +62,27 @@ def _load_engine(
 
 
 def _executor_for(args: argparse.Namespace, engine: GraphAnalyticsEngine) -> QueryExecutor:
+    admission = None
+    max_inflight = getattr(args, "max_inflight", None)
+    if max_inflight:
+        from .resilience import AdmissionController
+
+        admission = AdmissionController(max_inflight=max_inflight)
     return QueryExecutor(
-        engine, jobs=getattr(args, "jobs", 1), cache_mb=getattr(args, "cache_mb", 0)
+        engine,
+        jobs=getattr(args, "jobs", 1),
+        cache_mb=getattr(args, "cache_mb", 0),
+        admission=admission,
+        default_timeout=getattr(args, "timeout", None),
+        partial_ok=getattr(args, "partial_ok", False),
     )
+
+
+def _print_degraded(result) -> None:
+    """Warn on stderr when a partial_ok answer skipped shards."""
+    report = getattr(result, "degraded", None)
+    if report is not None:
+        print(f"warning: {report.summary()}", file=sys.stderr)
 
 
 def _cmd_load(args: argparse.Namespace) -> int:
@@ -93,6 +123,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     expr = parse_query(args.query)
     with _executor_for(args, engine) as executor:
         result = executor.run_one(expr, fetch_measures=not args.ids_only)
+    _print_degraded(result)
     print(f"{len(result)} matching records")
     limit = args.limit if args.limit else len(result)
     for i, record_id in enumerate(result.record_ids[:limit]):
@@ -115,6 +146,7 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
     query = parse_aggregation(args.query)
     with _executor_for(args, engine) as executor:
         result = executor.run_one(query)
+    _print_degraded(result)
     print(f"{len(result)} matching records")
     limit = args.limit if args.limit else len(result)
     for path, values in result.path_values.items():
@@ -152,17 +184,28 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         started = time.perf_counter()
         results = list(
             executor.serve(
-                workload, batch_size=args.batch_size, fetch_measures=False
+                workload,
+                batch_size=args.batch_size,
+                fetch_measures=False,
+                return_errors=True,
             )
         )
         elapsed = time.perf_counter() - started
+    failed = 0
     for line, result in zip(lines, results):
-        print(f"{len(result):6d}  {line}")
+        if isinstance(result, Exception):
+            failed += 1
+            print(f" ERROR  {line}  [{_describe_error(result)}]")
+        else:
+            _print_degraded(result)
+            print(f"{len(result):6d}  {line}")
     stats = engine.stats
     rate = len(results) / elapsed if elapsed else float("inf")
     print(
         f"served {len(results)} queries in {elapsed:.3f}s "
-        f"({rate:.0f} q/s, jobs={args.jobs})",
+        f"({rate:.0f} q/s, jobs={args.jobs}"
+        + (f", {failed} failed" if failed else "")
+        + ")",
         file=sys.stderr,
     )
     if executor.cache is not None:
@@ -174,6 +217,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"{executor.cache.current_bytes() / 1e6:.2f} MB held",
             file=sys.stderr,
         )
+    if failed:
+        first = next(r for r in results if isinstance(r, Exception))
+        return _exit_code_for(first)
     return 0
 
 
@@ -257,6 +303,31 @@ def _is_nan(value: float) -> bool:
     return value != value
 
 
+def _describe_error(exc: Exception) -> str:
+    """One-line human rendering of a serving failure."""
+    if isinstance(exc, QueryTimeoutError):
+        return f"timed out: {exc}"
+    if isinstance(exc, QueryCancelledError):
+        return "cancelled"
+    if isinstance(exc, AdmissionRejectedError):
+        hint = getattr(exc, "retry_after", None)
+        extra = f" (retry after {hint:.2f}s)" if hint else ""
+        return f"rejected by admission control{extra}"
+    if isinstance(exc, ShardExecutionError):
+        return f"shard failure: {exc}"
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _exit_code_for(exc: Exception) -> int:
+    if isinstance(exc, QueryTimeoutError):
+        return EXIT_TIMEOUT
+    if isinstance(exc, AdmissionRejectedError):
+        return EXIT_ADMISSION
+    if isinstance(exc, ShardExecutionError):
+        return EXIT_SHARD
+    return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -306,6 +377,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--shards", type=int, default=None, metavar="N",
             help="re-partition the loaded engine into N record-range "
                  "shards (default: keep the saved layout)",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-query deadline; an overrunning query is cancelled at "
+                 "the next operator boundary (exit code 3)",
+        )
+        p.add_argument(
+            "--max-inflight", type=int, default=None, metavar="N",
+            help="admit at most N concurrent queries; excess queries queue "
+                 "briefly then are rejected (exit code 4)",
+        )
+        p.add_argument(
+            "--partial-ok", action="store_true",
+            help="on persistent shard failure return the healthy-shard "
+                 "answer plus a skipped-range warning instead of failing",
         )
 
     p_query = sub.add_parser("query", help="run a DSL graph query")
@@ -399,6 +485,12 @@ def main(argv: list[str] | None = None) -> int:
         # does not raise a second time.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except (QueryTimeoutError, QueryCancelledError, AdmissionRejectedError,
+            ShardExecutionError) as exc:
+        # Resilience failures before the generic ReproError catch-all:
+        # distinct exit codes so callers can branch on the failure class.
+        print(f"error: {_describe_error(exc)}", file=sys.stderr)
+        return _exit_code_for(exc)
     except (ReproError, ValueError, FileNotFoundError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -41,7 +41,13 @@ from ...columnstore.sharded import (
     save_sharded,
 )
 from ...columnstore.table import MasterRelation
-from ...errors import IngestError, ManifestError, PersistenceError
+from ...errors import (
+    IngestError,
+    ManifestError,
+    PersistenceError,
+    ResilienceError,
+    ShardExecutionError,
+)
 from ..aggregates import get_function
 from ..candidates import (
     apriori_candidates,
@@ -81,6 +87,9 @@ class GraphQueryResult:
     measures: dict[Edge, np.ndarray]
     plan: GraphQueryPlan | None = None
     epoch: int | None = None
+    #: Degraded-mode report (repro.resilience.DegradedReport) when shards
+    #: were skipped under partial_ok; None for a complete answer.
+    degraded: object | None = None
 
     def __len__(self) -> int:
         return int(self.rows.size)
@@ -100,6 +109,9 @@ class PathAggregationResult:
     path_values: dict[Path, np.ndarray]
     plan: AggregationPlan | None = None
     epoch: int | None = None
+    #: Degraded-mode report (repro.resilience.DegradedReport) when shards
+    #: were skipped under partial_ok; None for a complete answer.
+    degraded: object | None = None
 
     def __len__(self) -> int:
         return int(self.rows.size)
@@ -165,6 +177,11 @@ class GraphAnalyticsEngine:
         # use_shard_mapper(); None evaluates shards serially in the
         # calling thread.
         self._shard_map = None
+        # Optional resilience policy (repro.resilience.ResiliencePolicy),
+        # installed by use_resilience(); supervises per-shard execution
+        # with retries, circuit breakers, and partial_ok degraded mode.
+        # None propagates shard failures wrapped as ShardExecutionError.
+        self._resilience = None
 
     # -- loading ------------------------------------------------------------
 
@@ -631,6 +648,24 @@ class GraphAnalyticsEngine:
         self.collector.registry = registry
         if self._bitmap_cache is not None:
             self._bitmap_cache.registry = registry
+        if self._resilience is not None:
+            self._resilience.registry = registry
+
+    @property
+    def resilience(self):
+        return self._resilience
+
+    def use_resilience(self, policy) -> None:
+        """Install (or with ``None`` remove) a
+        :class:`repro.resilience.ResiliencePolicy` supervising per-shard
+        execution: bounded retries with backoff, a per-shard circuit
+        breaker keyed on the engine generation, and ``partial_ok``
+        degraded answers.  Without one, a failing shard fails the query
+        with a typed :class:`~repro.errors.ShardExecutionError` on the
+        first attempt."""
+        self._resilience = policy
+        if policy is not None and self.collector.registry is not None:
+            policy.registry = self.collector.registry
 
     def _span(self, name: str, **meta):
         """A tracer span when tracing is on, the shared no-op otherwise."""
@@ -667,7 +702,7 @@ class GraphAnalyticsEngine:
 
     # -- conjunction execution -------------------------------------------------
 
-    def _conjunction(self, parts, keys) -> Bitmap:
+    def _conjunction(self, parts, keys, ctx=None) -> Bitmap:
         """Legacy single-backend fold (also shard 0 of the key space)."""
         return conjunction(
             self.relation,
@@ -678,9 +713,10 @@ class GraphAnalyticsEngine:
             self._epoch,
             shard=0,
             tracer=self._tracer,
+            ctx=ctx,
         )
 
-    def _conjunction_over_backend(self, parts, keys) -> Bitmap:
+    def _conjunction_over_backend(self, parts, keys, ctx=None) -> Bitmap:
         """Evaluate the canonical conjunction over the storage backend.
 
         Unsharded backends use the single fold unchanged.  Sharded ones
@@ -701,55 +737,102 @@ class GraphAnalyticsEngine:
         """
         tasks = shard_tasks(self.relation)
         if len(tasks) == 1:
-            return self._conjunction(parts, keys)
+            return self._conjunction(parts, keys, ctx)
         cache = self._bitmap_cache
         if cache is not None and keys and self._tracer is None:
-            return cache.get_or_compute(
-                self._epoch,
-                keys[-1],
-                lambda: self._merge_shards(parts, keys, tasks),
-                shard=MERGED_SHARD,
-            )
-        return self._merge_shards(parts, keys, tasks)
+            cached = cache.lookup(self._epoch, keys[-1], shard=MERGED_SHARD)
+            if cached is not None:
+                return cached
+            merged = self._merge_shards(parts, keys, tasks, ctx)
+            # A degraded merge (any shard skipped under partial_ok) is a
+            # partial answer — caching it would poison later healthy
+            # queries, so the merged entry is keyed off the degraded flag.
+            if ctx is None or not ctx.degraded:
+                cache.put(self._epoch, keys[-1], merged, shard=MERGED_SHARD)
+            return merged
+        return self._merge_shards(parts, keys, tasks, ctx)
 
-    def _merge_shards(self, parts, keys, tasks) -> Bitmap:
-        """Fold the conjunction once per shard and concatenate in order."""
+    def _merge_shards(self, parts, keys, tasks, ctx=None) -> Bitmap:
+        """Fold the conjunction once per shard and concatenate in order.
+
+        Each shard task runs under the installed resilience policy when
+        there is one: bounded retries with backoff, the per-shard circuit
+        breaker, and — when the query's context says ``partial_ok`` — an
+        all-zero substitute segment for a persistently failing shard (the
+        skipped record range lands on the context's degraded ledger).
+        Without a policy, the first shard failure raises a typed
+        :class:`~repro.errors.ShardExecutionError` naming the shard and
+        the record range it would have answered for.
+        """
         cache, epoch, catalog = self._bitmap_cache, self._epoch, self.catalog
         tracer = self._tracer
+        policy = self._resilience
+        lengths = [task.relation.n_records for task in tasks]
+
+        def run_supervised(task, length, task_tracer):
+            if ctx is not None:
+                ctx.check()
+            start, stop = task.start, task.start + length
+
+            def compute():
+                return conjunction(
+                    task.relation,
+                    catalog,
+                    parts,
+                    keys,
+                    cache,
+                    epoch,
+                    shard=task.shard,
+                    tracer=task_tracer,
+                    ctx=ctx,
+                )
+
+            if policy is not None:
+                segment = policy.run_shard(
+                    task.shard, start, stop, compute, ctx, generation=epoch
+                )
+                # None = skipped under partial_ok: contribute an all-zero
+                # segment (never cached — it is not the shard's answer).
+                return Bitmap.zeros(length) if segment is None else segment
+            try:
+                return compute()
+            except ResilienceError:
+                raise
+            except Exception as exc:
+                raise ShardExecutionError(
+                    f"shard {task.shard} failed: {exc} "
+                    f"(records [{start}:{stop}) unavailable)",
+                    shard=task.shard,
+                    start=start,
+                    stop=stop,
+                ) from exc
+
         if tracer is not None:
             segments = []
-            for task in tasks:
-                with tracer.span("shard", shard=task.shard):
-                    segments.append(
-                        conjunction(
-                            task.relation,
-                            catalog,
-                            parts,
-                            keys,
-                            cache,
-                            epoch,
-                            shard=task.shard,
-                            tracer=tracer,
-                        )
-                    )
+            for task, length in zip(tasks, lengths, strict=True):
+                skips_before = len(ctx.skipped) if ctx is not None else 0
+                with tracer.span("shard", shard=task.shard) as span:
+                    segments.append(run_supervised(task, length, tracer))
+                    if ctx is not None and len(ctx.skipped) > skips_before:
+                        span.meta["degraded"] = "skipped"
             return Bitmap.concat(segments)
 
         def run(task):
-            return conjunction(
-                task.relation, catalog, parts, keys, cache, epoch, shard=task.shard
-            )
+            return run_supervised(task, lengths[task.shard], None)
 
         mapper = self._shard_map
         segments = [run(t) for t in tasks] if mapper is None else mapper(run, tasks)
         return Bitmap.concat(segments)
 
-    def _structural_bitmap(self, query: GraphQuery) -> tuple[Bitmap, GraphQueryPlan]:
+    def _structural_bitmap(
+        self, query: GraphQuery, ctx=None
+    ) -> tuple[Bitmap, GraphQueryPlan]:
         tracer = self._tracer
         if tracer is None:
             plan, parts, keys = self.conjunction_inputs(query)
             if not parts:
                 return self._empty_bitmap(), plan
-            return self._conjunction_over_backend(parts, keys), plan
+            return self._conjunction_over_backend(parts, keys, ctx), plan
         with tracer.span("rewrite"):
             plan, parts, keys = self.conjunction_inputs(query)
             tracer.add("views_used", len(plan.view_names))
@@ -759,32 +842,36 @@ class GraphAnalyticsEngine:
                 span.add("rows_matched", 0)
                 span.meta["short_circuit"] = "unindexed-element"
                 return self._empty_bitmap(), plan
-            bitmap = self._conjunction_over_backend(parts, keys)
+            bitmap = self._conjunction_over_backend(parts, keys, ctx)
             span.add("bitmaps_anded", len(parts))
             span.add("rows_matched", bitmap.count())
             return bitmap, plan
 
-    def evaluate(self, expr: QueryExpr) -> Bitmap:
+    def evaluate(self, expr: QueryExpr, ctx=None) -> Bitmap:
         """Evaluate a boolean combination of graph queries to a bitmap.
 
         Implements ``[Gq1 AND Gq2] = [Gq1] ∩ [Gq2]`` and friends as binary
-        calculations on the stored bitmaps (Section 3.2).
+        calculations on the stored bitmaps (Section 3.2).  ``ctx`` (a
+        :class:`repro.resilience.QueryContext`) is checked between atoms,
+        so deadlines and cancellation cover the whole expression tree.
         """
+        if ctx is not None:
+            ctx.check()
         if isinstance(expr, GraphQuery):
-            bitmap, _ = self._structural_bitmap(expr)
+            bitmap, _ = self._structural_bitmap(expr, ctx)
             return bitmap
         if isinstance(expr, And):
-            return self.evaluate(expr.left) & self.evaluate(expr.right)
+            return self.evaluate(expr.left, ctx) & self.evaluate(expr.right, ctx)
         if isinstance(expr, Or):
-            return self.evaluate(expr.left) | self.evaluate(expr.right)
+            return self.evaluate(expr.left, ctx) | self.evaluate(expr.right, ctx)
         if isinstance(expr, AndNot):
-            return self.evaluate(expr.left) - self.evaluate(expr.right)
+            return self.evaluate(expr.left, ctx) - self.evaluate(expr.right, ctx)
         raise TypeError(f"cannot evaluate {type(expr).__name__}")
 
     # -- graph queries ---------------------------------------------------------------
 
     def query(
-        self, query: GraphQuery | QueryExpr, fetch_measures: bool = True
+        self, query: GraphQuery | QueryExpr, fetch_measures: bool = True, ctx=None
     ) -> GraphQueryResult:
         """Answer a graph query: matching records with their measures.
 
@@ -794,23 +881,30 @@ class GraphAnalyticsEngine:
         With a tracer installed (:meth:`use_tracer`) the call produces one
         :class:`~repro.obs.QueryTrace` with nested rewrite / conjunction /
         measure-materialization spans; answers are identical either way.
+
+        ``ctx`` is an optional :class:`repro.resilience.QueryContext`
+        carrying the query's deadline, cancel token, and ``partial_ok``
+        policy; when shards were skipped under it, the result's
+        ``degraded`` field holds the skipped-range report.
         """
         tracer = self._tracer
         if tracer is None:
-            return self._query_impl(query, fetch_measures)
-        with tracer.span("query", query=repr(query), epoch=self._epoch):
-            result = self._query_impl(query, fetch_measures)
+            return self._query_impl(query, fetch_measures, ctx)
+        with tracer.span("query", query=repr(query), epoch=self._epoch) as span:
+            result = self._query_impl(query, fetch_measures, ctx)
             tracer.add("rows_matched", len(result))
+            if result.degraded is not None:
+                span.meta["degraded"] = result.degraded.summary()
             return result
 
     def _query_impl(
-        self, query: GraphQuery | QueryExpr, fetch_measures: bool
+        self, query: GraphQuery | QueryExpr, fetch_measures: bool, ctx=None
     ) -> GraphQueryResult:
         if isinstance(query, GraphQuery):
-            bitmap, plan = self._structural_bitmap(query)
+            bitmap, plan = self._structural_bitmap(query, ctx)
             elements = sorted(query.elements, key=repr)
         else:
-            bitmap = self.evaluate(query)
+            bitmap = self.evaluate(query, ctx)
             plan = None
             seen: set[Edge] = set()
             elements = []
@@ -826,6 +920,8 @@ class GraphAnalyticsEngine:
             with self._span("measures"):
                 known_ids = []
                 for element in elements:
+                    if ctx is not None:
+                        ctx.check()
                     edge_id = self.catalog.get_id(element)
                     if edge_id is None or not self.relation.has_element(edge_id):
                         measures[element] = np.full(rows.size, np.nan)
@@ -851,6 +947,7 @@ class GraphAnalyticsEngine:
             measures=measures,
             plan=plan,
             epoch=self._epoch,
+            degraded=ctx.report() if ctx is not None else None,
         )
 
     # -- path aggregation ---------------------------------------------------------------
@@ -879,22 +976,27 @@ class GraphAnalyticsEngine:
             f"cannot provide {sub_function!r}"
         )
 
-    def aggregate(self, query: PathAggregationQuery) -> PathAggregationResult:
+    def aggregate(self, query: PathAggregationQuery, ctx=None) -> PathAggregationResult:
         """Answer ``F_Gq``: per matching record, apply the aggregate along
         every maximal source→terminal path of the query graph (§3.4).
 
         Traced like :meth:`query`, with an extra ``aggregation`` span
-        covering the per-path partial-merge stage.
+        covering the per-path partial-merge stage.  ``ctx`` works exactly
+        as in :meth:`query`.
         """
         tracer = self._tracer
         if tracer is None:
-            return self._aggregate_impl(query)
-        with tracer.span("aggregate", query=repr(query), epoch=self._epoch):
-            result = self._aggregate_impl(query)
+            return self._aggregate_impl(query, ctx)
+        with tracer.span("aggregate", query=repr(query), epoch=self._epoch) as span:
+            result = self._aggregate_impl(query, ctx)
             tracer.add("rows_matched", len(result))
+            if result.degraded is not None:
+                span.meta["degraded"] = result.degraded.summary()
             return result
 
-    def _aggregate_impl(self, query: PathAggregationQuery) -> PathAggregationResult:
+    def _aggregate_impl(
+        self, query: PathAggregationQuery, ctx=None
+    ) -> PathAggregationResult:
         tracer = self._tracer
         with self._span("rewrite"):
             plan, parts, keys = self.conjunction_inputs(query)
@@ -906,7 +1008,7 @@ class GraphAnalyticsEngine:
             rows = np.empty(0, dtype=np.int64)
         else:
             with self._span("conjunction") as span:
-                bitmap = self._conjunction_over_backend(parts, keys)
+                bitmap = self._conjunction_over_backend(parts, keys, ctx)
                 rows = bitmap.to_indices()
                 if tracer is not None:
                     span.add("bitmaps_anded", len(parts))
@@ -920,6 +1022,8 @@ class GraphAnalyticsEngine:
         raw_cache: dict[Edge, np.ndarray] = {}
         with self._span("aggregation"):
             for path_plan in plan.path_plans:
+                if ctx is not None:
+                    ctx.check()
                 partials: dict[str, list[np.ndarray]] = {fn: [] for fn in needed}
                 for segment in path_plan.segments:
                     if segment.kind == "view":
@@ -960,6 +1064,7 @@ class GraphAnalyticsEngine:
             path_values=path_values,
             plan=plan,
             epoch=self._epoch,
+            degraded=ctx.report() if ctx is not None else None,
         )
 
     # -- materialization ---------------------------------------------------------------

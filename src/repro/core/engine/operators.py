@@ -125,6 +125,7 @@ def conjunction(
     epoch: int,
     shard: int = 0,
     tracer=None,
+    ctx=None,
 ) -> Bitmap:
     """AND the parts' bitmaps over ``relation``, memoizing intermediates
     when a cache is installed.
@@ -136,12 +137,29 @@ def conjunction(
     running prefix, so overlapping queries (ordered together by the
     executor) extend each other's cached prefixes instead of recomputing
     from scratch.
+
+    ``ctx`` is the query's :class:`repro.resilience.QueryContext` (or
+    None); the fold checks it before every part fetch, so an expired
+    deadline or a fired cancel token stops the query one operator step
+    past the event.  Prefixes completed before the stop are exact and stay
+    cached — an aborted fold never leaves a partial bitmap behind because
+    insertion only happens after a part's compute returns.
     """
+    if ctx is not None:
+        ctx.check()
     if cache is None or any(not part.covered for part in parts):
+
+        def fetch_checked(part: ConjunctionPart) -> Bitmap:
+            if ctx is not None:
+                ctx.check()
+            return fetch_part(relation, catalog, part)
+
         if tracer is None:
-            return Bitmap.and_all(fetch_part(relation, catalog, part) for part in parts)
+            return Bitmap.and_all(fetch_checked(part) for part in parts)
 
         def fetch_traced(part: ConjunctionPart) -> Bitmap:
+            if ctx is not None:
+                ctx.check()
             with tracer.span("and", kind=part.kind, part=part_token(part)):
                 return fetch_part(relation, catalog, part, tracer)
 
@@ -149,6 +167,8 @@ def conjunction(
 
     def build(i: int) -> Bitmap:
         def compute() -> Bitmap:
+            if ctx is not None:
+                ctx.check()
             if tracer is not None:
                 tracer.add("cache_miss")
             bitmap = fetch_part(relation, catalog, parts[i], tracer)

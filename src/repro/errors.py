@@ -20,7 +20,22 @@ instead of fishing ``KeyError``/``ValueError`` out of internals:
 * :class:`QuerySyntaxError` — the DSL parser rejected a query string
   (defined here, re-exported by :mod:`repro.dsl`);
 * :class:`PathJoinError` — two paths cannot be joined (defined here,
-  re-exported by :mod:`repro.core.paths`).
+  re-exported by :mod:`repro.core.paths`);
+* :class:`ResilienceError` — the serving-resilience layer refused, cut
+  short, or degraded a query (:mod:`repro.resilience`);
+
+  * :class:`QueryTimeoutError` — the query's deadline expired before it
+    finished (raised cooperatively at operator boundaries);
+  * :class:`QueryCancelledError` — the query's cancel token fired;
+  * :class:`AdmissionRejectedError` — the admission controller refused the
+    query (inflight/rate/byte budget exhausted within the bounded wait);
+    carries ``retry_after`` as a backoff hint;
+  * :class:`ShardExecutionError` — one record-range shard kept failing
+    after retries (carries ``shard`` and the ``start``/``stop`` record
+    range it would have answered for);
+
+    * :class:`CircuitOpenError` — the shard was not even attempted because
+      its circuit breaker is open from earlier failures.
 
 ``IngestError``, ``QuerySyntaxError`` and ``PathJoinError`` also subclass
 ``ValueError`` so existing ``except ValueError`` callers keep working.
@@ -36,6 +51,12 @@ __all__ = [
     "IngestError",
     "QuerySyntaxError",
     "PathJoinError",
+    "ResilienceError",
+    "QueryTimeoutError",
+    "QueryCancelledError",
+    "AdmissionRejectedError",
+    "ShardExecutionError",
+    "CircuitOpenError",
 ]
 
 
@@ -65,3 +86,66 @@ class QuerySyntaxError(ReproError, ValueError):
 
 class PathJoinError(ReproError, ValueError):
     """Two paths cannot be path-joined (no shared endpoint)."""
+
+
+class ResilienceError(ReproError):
+    """The serving-resilience layer refused, cut short, or degraded a
+    query (deadline, cancellation, admission, or shard failure)."""
+
+
+class QueryTimeoutError(ResilienceError):
+    """The query's deadline expired before it finished.
+
+    Raised cooperatively: operators check the deadline at every
+    conjunction-fold step and shard boundary, so a query with a deadline
+    of D seconds stops within one operator step past D.
+    """
+
+    def __init__(self, message: str = "query deadline exceeded", budget: float | None = None):
+        super().__init__(message)
+        #: The deadline's original time budget in seconds, when known.
+        self.budget = budget
+
+
+class QueryCancelledError(ResilienceError):
+    """The query's cancel token fired before it finished."""
+
+
+class AdmissionRejectedError(ResilienceError):
+    """The admission controller refused the query.
+
+    The inflight-query, token-bucket, or byte budget stayed exhausted for
+    the whole bounded wait.  ``retry_after`` (seconds, possibly 0.0) is the
+    controller's backoff hint — :func:`repro.resilience.retry_with_backoff`
+    honours it automatically.
+    """
+
+    def __init__(self, message: str = "admission rejected", retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ShardExecutionError(ResilienceError):
+    """One record-range shard failed (after any configured retries).
+
+    ``shard`` is the shard index; ``start``/``stop`` delimit the global
+    record range the shard would have answered for — the range a
+    ``partial_ok`` query reports as skipped instead of raising this.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: int = -1,
+        start: int = 0,
+        stop: int = 0,
+    ):
+        super().__init__(message)
+        self.shard = shard
+        self.start = start
+        self.stop = stop
+
+
+class CircuitOpenError(ShardExecutionError):
+    """A shard was skipped without an attempt: its circuit breaker is open
+    from earlier failures and the cooldown has not elapsed."""

@@ -8,6 +8,12 @@ with cache-affinity ordering and reader/writer isolation against
 concurrent appends and view changes.  Against a sharded backend the
 executor also parallelizes each query's conjunction across record-range
 shards (cache keys gain the shard id; merges preserve record order).
+
+Serving governance lives in :mod:`repro.resilience` and plugs in here:
+the executor accepts per-query deadlines/cancel tokens, an optional
+:class:`~repro.resilience.AdmissionController`, and a
+:class:`~repro.resilience.ResiliencePolicy` for shard retry, circuit
+breaking, and ``partial_ok`` degraded execution.
 """
 
 from .cache import BitmapCache, CacheStats

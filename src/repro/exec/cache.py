@@ -163,6 +163,17 @@ class BitmapCache:
         self._insert(key, bitmap)
         return bitmap
 
+    def put(
+        self, epoch: int, elements: frozenset[Edge], bitmap: Bitmap, shard: int = 0
+    ) -> None:
+        """Insert a computed bitmap directly (no hit/miss accounting).
+
+        The engine uses the :meth:`lookup` + :meth:`put` pair instead of
+        :meth:`get_or_compute` when insertion is conditional — a merged
+        result from a degraded (partial_ok) fan-out must never be cached.
+        """
+        self._insert((epoch, shard, elements), bitmap)
+
     def lookup(
         self, epoch: int, elements: frozenset[Edge], shard: int = 0
     ) -> Bitmap | None:

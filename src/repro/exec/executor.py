@@ -45,6 +45,17 @@ from ..core.engine import (
 )
 from ..core.query import GraphQuery, PathAggregationQuery, QueryExpr
 from ..core.record import GraphRecord
+from ..errors import (
+    AdmissionRejectedError,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
+from ..resilience import (
+    AdmissionController,
+    CancelToken,
+    QueryContext,
+    ResiliencePolicy,
+)
 from .cache import BitmapCache
 
 __all__ = ["QueryExecutor"]
@@ -141,8 +152,25 @@ class QueryExecutor:
         (``exec.request_seconds`` overall, ``exec.query_seconds`` /
         ``exec.aggregate_seconds`` by kind) plus batch-size and
         served-query counters, and installs the registry on the engine
-        (:meth:`GraphAnalyticsEngine.use_metrics`) so the I/O collector
-        and bitmap cache publish too.
+        (:meth:`GraphAnalyticsEngine.use_metrics`) so the I/O collector,
+        bitmap cache, and resilience policy publish too.
+    admission:
+        Optional :class:`repro.resilience.AdmissionController` gating
+        every query; rejected queries raise
+        :class:`~repro.errors.AdmissionRejectedError` without touching
+        the engine.
+    resilience:
+        A :class:`repro.resilience.ResiliencePolicy` to install on the
+        engine for supervised shard execution.  When None and the engine
+        has no policy yet, a default one is installed (3 attempts,
+        breaker threshold 3) so transient shard faults are retried and
+        ``partial_ok`` works out of the box.
+    default_timeout:
+        Per-query deadline in seconds applied when a call does not pass
+        its own ``timeout`` (None = no deadline).
+    partial_ok:
+        Default degraded-mode policy for queries served by this executor
+        (overridable per call).
     """
 
     def __init__(
@@ -152,6 +180,10 @@ class QueryExecutor:
         cache: BitmapCache | None = None,
         cache_mb: float | None = None,
         registry=None,
+        admission: AdmissionController | None = None,
+        resilience: ResiliencePolicy | None = None,
+        default_timeout: float | None = None,
+        partial_ok: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -161,6 +193,14 @@ class QueryExecutor:
         self.jobs = jobs
         self.cache = cache
         self.registry = registry
+        self.admission = admission
+        self.default_timeout = default_timeout
+        self.partial_ok = partial_ok
+        if resilience is None and engine.resilience is None:
+            resilience = ResiliencePolicy()
+        if resilience is not None:
+            engine.use_resilience(resilience)
+        self.resilience = engine.resilience
         engine.use_bitmap_cache(cache)
         if registry is not None:
             engine.use_metrics(registry)
@@ -209,34 +249,121 @@ class QueryExecutor:
 
     # -- read side -----------------------------------------------------------
 
-    def run_one(self, query: AnyQuery, fetch_measures: bool = True) -> AnyResult:
-        """Answer one query under the shared read lock."""
+    def _count(self, name: str, n: float = 1) -> None:
         registry = self.registry
-        if registry is None:
+        if registry is not None:
+            registry.counter(name).inc(n)
+
+    def _make_ctx(
+        self,
+        timeout: float | None,
+        cancel: CancelToken | None,
+        partial_ok: bool | None,
+    ) -> QueryContext | None:
+        """Fresh per-query context from call args + executor defaults;
+        None when no governance applies (keeps the hot path allocation-free)."""
+        timeout = timeout if timeout is not None else self.default_timeout
+        partial = partial_ok if partial_ok is not None else self.partial_ok
+        if timeout is None and cancel is None and not partial:
+            return None
+        return QueryContext.start(timeout=timeout, token=cancel, partial_ok=partial)
+
+    def _estimate_bytes(self) -> int:
+        """Admission byte estimate: one uncompressed bitmap width — the
+        unit every conjunction step allocates at least once."""
+        return max(self.engine.n_records // 8, 1)
+
+    def _execute_one(
+        self, query: AnyQuery, fetch_measures: bool, ctx: QueryContext | None
+    ) -> AnyResult:
+        registry = self.registry
+        start = time.perf_counter() if registry is not None else 0.0
+        try:
+            if ctx is not None:
+                ctx.check()
             with self._rw.read():
                 if isinstance(query, PathAggregationQuery):
-                    return self.engine.aggregate(query)
-                return self.engine.query(query, fetch_measures=fetch_measures)
-        kind = "aggregate" if isinstance(query, PathAggregationQuery) else "query"
-        start = time.perf_counter()
-        with self._rw.read():
-            if isinstance(query, PathAggregationQuery):
-                result = self.engine.aggregate(query)
-            else:
-                result = self.engine.query(query, fetch_measures=fetch_measures)
-        elapsed = time.perf_counter() - start
-        registry.histogram("exec.request_seconds").observe(elapsed)
-        registry.histogram(f"exec.{kind}_seconds").observe(elapsed)
-        registry.counter("exec.queries_served").inc()
+                    result = self.engine.aggregate(query, ctx=ctx)
+                else:
+                    result = self.engine.query(
+                        query, fetch_measures=fetch_measures, ctx=ctx
+                    )
+        except QueryTimeoutError:
+            self._count("resilience.timeouts")
+            raise
+        except QueryCancelledError:
+            self._count("resilience.cancellations")
+            raise
+        if registry is not None:
+            kind = "aggregate" if isinstance(query, PathAggregationQuery) else "query"
+            elapsed = time.perf_counter() - start
+            registry.histogram("exec.request_seconds").observe(elapsed)
+            registry.histogram(f"exec.{kind}_seconds").observe(elapsed)
+            registry.counter("exec.queries_served").inc()
+            if getattr(result, "degraded", None) is not None:
+                registry.counter("resilience.degraded_results").inc()
         return result
 
+    def run_one(
+        self,
+        query: AnyQuery,
+        fetch_measures: bool = True,
+        timeout: float | None = None,
+        partial_ok: bool | None = None,
+        cancel: CancelToken | None = None,
+        ctx: QueryContext | None = None,
+    ) -> AnyResult:
+        """Answer one query under the shared read lock.
+
+        ``timeout`` (seconds) / ``partial_ok`` override the executor
+        defaults for this call; ``cancel`` attaches a shared
+        :class:`~repro.resilience.CancelToken`.  Alternatively pass a
+        ready-made ``ctx``.  With an admission controller installed the
+        query first passes the gate (possibly queueing up to its bounded
+        wait) and may raise
+        :class:`~repro.errors.AdmissionRejectedError`.
+        """
+        if ctx is None:
+            ctx = self._make_ctx(timeout, cancel, partial_ok)
+        admission = self.admission
+        if admission is None:
+            return self._execute_one(query, fetch_measures, ctx)
+        try:
+            waited_from = time.perf_counter()
+            with admission.admit(self._estimate_bytes()):
+                if self.registry is not None:
+                    self.registry.histogram("resilience.admission_wait_seconds").observe(
+                        time.perf_counter() - waited_from
+                    )
+                self._count("resilience.admitted")
+                return self._execute_one(query, fetch_measures, ctx)
+        except AdmissionRejectedError:
+            self._count("resilience.admission_rejected")
+            raise
+
     def run_batch(
-        self, queries: Sequence[AnyQuery], fetch_measures: bool = True
-    ) -> list[AnyResult]:
+        self,
+        queries: Sequence[AnyQuery],
+        fetch_measures: bool = True,
+        return_errors: bool = False,
+        timeout: float | None = None,
+        partial_ok: bool | None = None,
+        cancel: CancelToken | None = None,
+    ) -> list[AnyResult | Exception]:
         """Answer a batch; results align with the submitted order.
 
         Execution order is affinity-sorted so cache-sharing queries run
         adjacently; with ``jobs > 1`` the batch fans out over the pool.
+
+        Failures are isolated to their slot: every other query still
+        runs to completion.  With ``return_errors=True`` the failing
+        slots hold the exception objects themselves; otherwise the first
+        failure (in submission order) is raised after the batch finishes.
+        ``timeout`` starts counting when each query begins executing, not
+        at batch submission, so queued queries get their full budget; a
+        shared ``cancel`` token is also checked before each queued query
+        starts, so one ``cancel()`` stops the whole batch at the next
+        boundary.
         """
         if self._closed:
             raise RuntimeError("executor is closed")
@@ -253,18 +380,35 @@ class QueryExecutor:
             if query not in keys:
                 keys[query] = _affinity_key(query)
         order = sorted(range(len(queries)), key=lambda i: keys[queries[i]])
-        results: list[AnyResult | None] = [None] * len(queries)
+        results: list[AnyResult | Exception | None] = [None] * len(queries)
 
         def run(index: int) -> None:
-            results[index] = self.run_one(queries[index], fetch_measures)
+            if cancel is not None and cancel.cancelled:
+                self._count("resilience.cancellations")
+                results[index] = QueryCancelledError("cancelled before start")
+                return
+            try:
+                results[index] = self.run_one(
+                    queries[index],
+                    fetch_measures,
+                    timeout=timeout,
+                    partial_ok=partial_ok,
+                    cancel=cancel,
+                )
+            except Exception as exc:
+                results[index] = exc
 
         if self._pool is None or len(queries) == 1:
             for index in order:
                 run(index)
         else:
-            # list() drains the lazy map iterator and re-raises the first
-            # worker exception, if any.
+            # list() drains the lazy map iterator; run() captures failures
+            # per slot, so the pool itself never sees an exception.
             list(self._pool.map(run, order))
+        if not return_errors:
+            for slot in results:
+                if isinstance(slot, Exception):
+                    raise slot
         return results  # type: ignore[return-value]
 
     def serve(
@@ -272,13 +416,24 @@ class QueryExecutor:
         queries: Iterable[AnyQuery],
         batch_size: int = 64,
         fetch_measures: bool = True,
-    ) -> Iterator[AnyResult]:
+        return_errors: bool = False,
+        timeout: float | None = None,
+        partial_ok: bool | None = None,
+        cancel: CancelToken | None = None,
+    ) -> Iterator[AnyResult | Exception]:
         """Stream results for an unbounded query feed, batch by batch."""
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         stream = iter(queries)
         while batch := list(islice(stream, batch_size)):
-            yield from self.run_batch(batch, fetch_measures=fetch_measures)
+            yield from self.run_batch(
+                batch,
+                fetch_measures=fetch_measures,
+                return_errors=return_errors,
+                timeout=timeout,
+                partial_ok=partial_ok,
+                cancel=cancel,
+            )
 
     # -- write side ----------------------------------------------------------
 

@@ -1,0 +1,51 @@
+"""Serving resilience: deadlines, cancellation, admission, degraded mode.
+
+The governance layer between the executor and the storage backend, built
+before (and reused by) the planned multiprocessing worker pool and
+network daemon:
+
+* :class:`Deadline` / :class:`CancelToken` / :class:`QueryContext` — the
+  per-query execution context, checked cooperatively at operator
+  boundaries (:mod:`repro.core.engine.operators`) and executor batch
+  loops; expiry raises :class:`~repro.errors.QueryTimeoutError`, a fired
+  token raises :class:`~repro.errors.QueryCancelledError`;
+* :class:`AdmissionController` — token-bucket + inflight/byte-budget gate
+  in front of :class:`repro.exec.QueryExecutor`, rejecting with
+  :class:`~repro.errors.AdmissionRejectedError` after a bounded wait;
+  :func:`retry_with_backoff` is the matching client-side helper;
+* :class:`ResiliencePolicy` — per-shard retry with exponential backoff, a
+  per-shard :class:`CircuitBreaker` (keyed on the engine generation), and
+  ``partial_ok`` degraded execution that returns healthy-shard-exact
+  answers plus a :class:`DegradedReport` of skipped record ranges.
+
+All failure paths publish ``resilience.*`` counters into an attached
+:class:`repro.obs.MetricsRegistry` and annotate trace spans.
+"""
+
+from .admission import AdmissionController, AdmissionStats
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .context import (
+    CancelToken,
+    Deadline,
+    DegradedReport,
+    QueryContext,
+    SkippedShard,
+)
+from .policy import ResiliencePolicy
+from .retry import retry_with_backoff
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "CancelToken",
+    "CircuitBreaker",
+    "CLOSED",
+    "Deadline",
+    "DegradedReport",
+    "HALF_OPEN",
+    "OPEN",
+    "QueryContext",
+    "ResiliencePolicy",
+    "SkippedShard",
+    "retry_with_backoff",
+]

@@ -1,0 +1,201 @@
+"""Per-query execution context: deadlines, cancellation, degraded-mode state.
+
+A :class:`QueryContext` rides along with one query through the executor,
+the engine facade, and the operator layer.  It carries three things:
+
+* a :class:`Deadline` — cooperative wall-clock budget, checked at operator
+  boundaries (every conjunction-fold step, every shard task, every measure
+  gather), raising :class:`~repro.errors.QueryTimeoutError` when expired;
+* a :class:`CancelToken` — external cancellation, checked at the same
+  boundaries, raising :class:`~repro.errors.QueryCancelledError`; one
+  token may be shared by a whole batch so a single ``cancel()`` stops
+  every in-flight and queued query;
+* the **degraded-mode ledger** — when ``partial_ok`` is set and a shard
+  keeps failing, the resilience policy records the skipped record range
+  here instead of failing the query; results carry the resulting
+  :class:`DegradedReport` so callers always know exactly which records
+  the answer does *not* cover.
+
+Checks are cooperative on purpose: the word-level numpy kernels cannot be
+interrupted mid-call, so a deadline of D seconds is honoured within D plus
+one operator step (the acceptance bound is 2·D for realistic shard sizes).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import QueryCancelledError, QueryTimeoutError
+
+__all__ = [
+    "Deadline",
+    "CancelToken",
+    "QueryContext",
+    "SkippedShard",
+    "DegradedReport",
+]
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A monotonic-clock expiry for one query.
+
+    Build with :meth:`after`; ``check()`` raises
+    :class:`~repro.errors.QueryTimeoutError` once the budget is spent.
+    """
+
+    expires_at: float
+    budget: float
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        if seconds <= 0:
+            raise ValueError("deadline budget must be > 0 seconds")
+        return cls(expires_at=time.monotonic() + seconds, budget=seconds)
+
+    def remaining(self) -> float:
+        """Seconds left (clamped at 0.0)."""
+        return max(self.expires_at - time.monotonic(), 0.0)
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self) -> None:
+        if self.expired():
+            raise QueryTimeoutError(
+                f"query deadline of {self.budget:g}s exceeded", budget=self.budget
+            )
+
+
+class CancelToken:
+    """Thread-safe cooperative cancellation flag.
+
+    One token may be shared across a batch: the executor checks it before
+    starting each queued query and the operators check it between fold
+    steps, so ``cancel()`` stops both queued and in-flight work at the
+    next boundary.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def check(self) -> None:
+        if self._event.is_set():
+            raise QueryCancelledError("query cancelled")
+
+
+@dataclass(frozen=True)
+class SkippedShard:
+    """One record-range shard a degraded query did not answer for."""
+
+    shard: int
+    start: int
+    stop: int
+    error: str
+
+    @property
+    def n_records(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class DegradedReport:
+    """What a ``partial_ok`` answer is missing: the skipped record ranges.
+
+    The answer is *exact* on every record outside these ranges (the
+    differential suite asserts it equals the healthy-shard oracle); the
+    ranges themselves contributed nothing.
+    """
+
+    skipped: tuple[SkippedShard, ...]
+
+    @property
+    def n_records_skipped(self) -> int:
+        return sum(s.n_records for s in self.skipped)
+
+    def skipped_ranges(self) -> list[tuple[int, int]]:
+        """Global ``[start, stop)`` record ranges the answer omits."""
+        return [(s.start, s.stop) for s in self.skipped]
+
+    def summary(self) -> str:
+        ranges = ", ".join(
+            f"shard {s.shard} [{s.start}:{s.stop}) ({s.error})" for s in self.skipped
+        )
+        return (
+            f"degraded answer: {self.n_records_skipped} records in "
+            f"{len(self.skipped)} shard(s) skipped — {ranges}"
+        )
+
+
+@dataclass
+class QueryContext:
+    """Everything one query carries through the stack.
+
+    ``deadline`` / ``token`` may be None (no budget / not cancellable).
+    ``partial_ok`` opts the query into degraded-mode shard execution:
+    persistent shard failures are recorded via :meth:`record_skip` instead
+    of raised, and the result carries the :class:`DegradedReport`.
+    """
+
+    deadline: Deadline | None = None
+    token: CancelToken | None = None
+    partial_ok: bool = False
+    _skipped: list[SkippedShard] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @classmethod
+    def start(
+        cls,
+        timeout: float | None = None,
+        token: CancelToken | None = None,
+        partial_ok: bool = False,
+    ) -> "QueryContext":
+        """Fresh context with the clock starting now."""
+        deadline = Deadline.after(timeout) if timeout else None
+        return cls(deadline=deadline, token=token, partial_ok=partial_ok)
+
+    def check(self) -> None:
+        """Raise the typed error if cancelled or past the deadline.
+
+        Cancellation wins when both fired: it is the caller's explicit
+        decision, so reporting it is more actionable than the timeout.
+        """
+        if self.token is not None:
+            self.token.check()
+        if self.deadline is not None:
+            self.deadline.check()
+
+    # -- degraded-mode ledger -------------------------------------------------
+
+    def record_skip(self, shard: int, start: int, stop: int, error: Exception) -> None:
+        """Note that ``shard`` (global records ``[start, stop)``) was
+        skipped; shard workers run concurrently, hence the lock."""
+        entry = SkippedShard(shard=shard, start=start, stop=stop, error=str(error))
+        with self._lock:
+            self._skipped.append(entry)
+
+    @property
+    def skipped(self) -> tuple[SkippedShard, ...]:
+        with self._lock:
+            return tuple(self._skipped)
+
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return bool(self._skipped)
+
+    def report(self) -> DegradedReport | None:
+        """The degraded report, or None for a complete answer."""
+        skipped = self.skipped
+        if not skipped:
+            return None
+        return DegradedReport(skipped=tuple(sorted(skipped, key=lambda s: s.start)))

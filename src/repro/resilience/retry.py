@@ -1,0 +1,54 @@
+"""Retry helpers for transient failures (admission rejections, flaky IO).
+
+:func:`retry_with_backoff` is the client-side half of admission control:
+the controller sheds load with a typed rejection plus a ``retry_after``
+hint, and this helper turns that into a polite exponential-backoff retry
+loop.  It is also what a caller wraps around a whole query when transient
+shard faults are expected but ``partial_ok`` answers are not acceptable.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from typing import TypeVar
+
+from ..errors import AdmissionRejectedError
+
+__all__ = ["retry_with_backoff"]
+
+T = TypeVar("T")
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    attempts: int = 4,
+    base_delay: float = 0.05,
+    factor: float = 2.0,
+    max_delay: float = 1.0,
+    retry_on: tuple[type[BaseException], ...] = (AdmissionRejectedError,),
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` up to ``attempts`` times with exponential backoff.
+
+    Only exceptions matching ``retry_on`` are retried; anything else (and
+    the final failing attempt) propagates.  When the exception carries a
+    ``retry_after`` hint (admission rejections do), the pause is at least
+    that long.  ``sleep`` is injectable for tests.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    delay = base_delay
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt + 1 == attempts:
+                raise
+            pause = min(delay, max_delay)
+            hint = getattr(exc, "retry_after", None)
+            if hint:
+                pause = max(pause, float(hint))
+            sleep(pause)
+            delay *= factor
+    raise AssertionError("unreachable")  # pragma: no cover

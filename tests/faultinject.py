@@ -11,9 +11,16 @@ Simulates the storage failures a production deployment actually sees:
   as when the OS flushed only part of a page before power loss;
 * **bit rot** — :func:`flip_bit` flips one bit in a file's payload;
 * **metadata corruption** — :func:`corrupt_manifest_crc` damages a stored
-  checksum inside the manifest itself.
+  checksum inside the manifest itself;
+* **shard failures mid-query** — :class:`FaultyRelation` wraps one shard
+  of a live :class:`~repro.columnstore.sharded.ShardedTable` and makes
+  chosen methods raise, either a fixed number of times (a transient I/O
+  blip the retry policy should absorb) or forever (a dead shard the
+  circuit breaker should isolate); :func:`install_faulty_shard` splices
+  the proxy into a running engine.
 
-All helpers operate on a relation directory written by ``save_relation``.
+All helpers except the shard proxies operate on a relation directory
+written by ``save_relation``.
 """
 
 from __future__ import annotations
@@ -26,6 +33,9 @@ from repro.columnstore import persistence
 
 __all__ = [
     "SimulatedCrash",
+    "SimulatedShardIOError",
+    "FaultyRelation",
+    "install_faulty_shard",
     "record_save_stages",
     "save_stage_labels",
     "crash_at_stage",
@@ -40,6 +50,82 @@ __all__ = [
 
 class SimulatedCrash(RuntimeError):
     """Raised by an injected hook to model a process dying mid-save."""
+
+
+class SimulatedShardIOError(OSError):
+    """Raised by :class:`FaultyRelation` to model a shard I/O failure."""
+
+
+class FaultyRelation:
+    """Proxy around one shard's relation that fails chosen methods.
+
+    ``fail_times=N`` models a transient blip: the first ``N`` intercepted
+    calls raise :class:`SimulatedShardIOError`, later ones pass through —
+    the retry policy should absorb these without the caller noticing.
+    ``fail_times=None`` models a dead shard: every intercepted call
+    raises, which the circuit breaker should learn to stop probing.
+
+    Everything else (``n_records``, catalog lookups, untouched methods)
+    delegates to the wrapped relation, so planning and shard accounting
+    still see an intact table.
+    """
+
+    def __init__(self, inner, methods=("bitmap",), fail_times=None):
+        self._inner = inner
+        self._methods = frozenset(methods)
+        self._fail_times = fail_times
+        self.calls = 0
+        self.failures = 0
+
+    def heal(self) -> None:
+        """Stop injecting failures from now on."""
+        self._fail_times = 0
+
+    def _maybe_fail(self, name: str) -> None:
+        self.calls += 1
+        if self._fail_times is None or self.failures < self._fail_times:
+            self.failures += 1
+            raise SimulatedShardIOError(
+                f"injected I/O failure in {name} (#{self.failures})"
+            )
+
+    def __getattr__(self, name: str):
+        attr = getattr(self._inner, name)
+        if name in self._methods and callable(attr):
+            def wrapped(*args, **kwargs):
+                self._maybe_fail(name)
+                return attr(*args, **kwargs)
+
+            return wrapped
+        return attr
+
+    _OWN = frozenset({"_inner", "_methods", "_fail_times", "calls", "failures"})
+
+    def __setattr__(self, name: str, value) -> None:
+        # Attribute writes (e.g. the table rewiring ``shard.collector``)
+        # must land on the real relation, not shadow it on the proxy.
+        if name in self._OWN:
+            object.__setattr__(self, name, value)
+        else:
+            setattr(self._inner, name, value)
+
+    def __repr__(self) -> str:
+        return f"FaultyRelation({self._inner!r}, failures={self.failures})"
+
+
+def install_faulty_shard(
+    engine, shard: int, methods=("bitmap",), fail_times=None
+) -> FaultyRelation:
+    """Splice a :class:`FaultyRelation` over shard ``shard`` of a running
+    engine's sharded backend; returns the proxy (``proxy.heal()`` or
+    assigning ``proxy._inner`` back restores health).  No epoch bump: the
+    engine sees the same generation, which is exactly the scenario the
+    circuit breaker is keyed for.
+    """
+    table = engine.relation
+    proxy = FaultyRelation(table.shards[shard], methods=methods, fail_times=fail_times)
+    table.shards[shard] = proxy
+    return proxy
 
 
 @contextlib.contextmanager

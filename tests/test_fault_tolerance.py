@@ -502,3 +502,114 @@ class TestCliRobustness:
         assert "loaded 10 records" in capsys.readouterr().out
         assert main(["load", str(source), str(db), "--resume", "--batch-size", "4"]) == 0
         assert "loaded 0 records" in capsys.readouterr().out
+
+
+# -- shard-level fault injection ---------------------------------------------
+
+
+class TestShardLevelFaults:
+    """Live-shard failures (vs the at-rest corruption above): a shard's
+    storage starts erroring *mid-query*.  Contract: typed error by
+    default; under ``partial_ok`` an answer that is bit-exact on the
+    healthy shards plus an accurate skipped-range report; transient blips
+    absorbed by retries without the caller noticing."""
+
+    N_SHARDS = 5
+
+    def _engine(self, **policy_kw):
+        from repro.resilience import ResiliencePolicy
+
+        engine = GraphAnalyticsEngine(shards=self.N_SHARDS)
+        engine.load_records(_records())
+        engine.use_resilience(
+            ResiliencePolicy(sleep=lambda _s: None, **policy_kw)
+        )
+        return engine
+
+    def _healthy_oracle(self, dead_shard):
+        """An engine built only from the records outside the dead shard's
+        record range — ground truth for a degraded answer."""
+        engine = GraphAnalyticsEngine(shards=self.N_SHARDS)
+        engine.load_records(_records())
+        starts = engine.relation.shard_starts()
+        start = starts[dead_shard]
+        stop = (
+            starts[dead_shard + 1]
+            if dead_shard + 1 < self.N_SHARDS
+            else engine.n_records
+        )
+        healthy = [
+            r for i, r in enumerate(_records()) if not start <= i < stop
+        ]
+        oracle = GraphAnalyticsEngine()
+        oracle.load_records(healthy)
+        return oracle, (start, stop)
+
+    def test_corrupt_shard_mid_query_is_a_typed_error(self):
+        from repro.errors import ShardExecutionError
+
+        engine = self._engine(attempts=2)
+        fi.install_faulty_shard(engine, shard=2, fail_times=None)
+        with pytest.raises(ShardExecutionError) as exc_info:
+            engine.query(parse_query("A -> B -> C"))
+        assert exc_info.value.shard == 2
+        assert isinstance(exc_info.value, ReproError)
+
+    def test_degraded_answers_match_the_healthy_shard_oracle(self):
+        from repro.resilience import QueryContext
+
+        for dead in (0, 2, self.N_SHARDS - 1):
+            engine = self._engine(attempts=1)
+            fi.install_faulty_shard(engine, shard=dead, fail_times=None)
+            oracle, (start, stop) = self._healthy_oracle(dead)
+            for dsl in ("A -> B -> C", "{(A,B)}", "{(D,E)}"):
+                query = parse_query(dsl)
+                ctx = QueryContext.start(partial_ok=True)
+                degraded = engine.query(query, ctx=ctx)
+                expected = oracle.query(query)
+                assert degraded.record_ids == expected.record_ids, dsl
+                for edge, values in expected.measures.items():
+                    got = degraded.measures[edge]
+                    assert len(got) == len(values)
+                    for a, b in zip(got, values):
+                        assert (a == b) or (a != a and b != b)
+                assert degraded.degraded.skipped_ranges() == [(start, stop)]
+
+    def test_degraded_aggregation_matches_oracle(self):
+        from repro.dsl import parse_aggregation
+        from repro.resilience import QueryContext
+
+        engine = self._engine(attempts=1)
+        fi.install_faulty_shard(engine, shard=1, fail_times=None)
+        oracle, (start, stop) = self._healthy_oracle(1)
+        agg = parse_aggregation("SUM A -> B -> C")
+        ctx = QueryContext.start(partial_ok=True)
+        degraded = engine.aggregate(agg, ctx=ctx)
+        expected = oracle.aggregate(agg)
+        assert degraded.record_ids == expected.record_ids
+        for path, values in expected.path_values.items():
+            assert list(degraded.path_values[path]) == list(values)
+        assert degraded.degraded.n_records_skipped == stop - start
+
+    def test_transient_then_healthy_io_is_invisible_to_callers(self):
+        engine = self._engine(attempts=4, breaker_threshold=10)
+        baseline = engine.query(parse_query("A -> B -> C")).record_ids
+        proxy = fi.install_faulty_shard(engine, shard=0, fail_times=3)
+        result = engine.query(parse_query("A -> B -> C"))
+        assert result.record_ids == baseline
+        assert result.degraded is None
+        assert proxy.failures == 3  # all three blips retried through
+
+    def test_breaker_stops_retry_storms_against_a_dead_shard(self):
+        from repro.errors import ShardExecutionError
+
+        engine = self._engine(
+            attempts=2, breaker_threshold=3, breaker_reset_after=3600.0
+        )
+        proxy = fi.install_faulty_shard(engine, shard=1, fail_times=None)
+        for _ in range(10):
+            with pytest.raises(ShardExecutionError):
+                engine.query(parse_query("{(A,B)}"))
+        # Without the breaker this would be 10 queries x 2 attempts = 20
+        # probes; the breaker capped actual shard touches at its threshold.
+        assert proxy.failures == 3
