@@ -10,13 +10,18 @@ each under two servers:
   correctness path);
 * ``executor4-sK`` — ``QueryExecutor(jobs=4)`` with a warm shard-keyed
   cache: batch fan-out plus the executor's dedicated shard pool, the
-  full serving stack.
+  full serving stack;
+* ``process4-sK``  — ``QueryExecutor(exec_mode="process", workers=4)``
+  with the same warm cache: shard conjunctions evaluated out-of-process
+  by the persistent worker pool over zero-copy mmap storage.
 
 Emits ``benchmarks/BENCH_shard_scaling.json`` with per-config seconds and
-queries/second plus the headline ``speedup_at_4_shards`` (executor over
-the serial loop at the same shard count); the report test asserts the
-acceptance bar (>= 1.5x at 4 shards, gated on a full-scale run) and that
-every shard count returns answers identical to the unsharded baseline.
+queries/second plus the headlines ``speedup_at_4_shards`` (executor over
+the serial loop at the same shard count), ``process_speedup_at_4_shards``
+(process pool over serial) and ``process_over_thread_at_4_shards``; the
+report test asserts the acceptance bars (executor >= 1.5x serial, process
+>= 2.5x serial and >= 1.2x thread at 4 shards, gated on a full-scale run)
+and that every config returns answers identical to the unsharded baseline.
 """
 
 from __future__ import annotations
@@ -92,11 +97,30 @@ def test_executor_shards(benchmark, shards):
     assert len(results) == N_QUERIES
 
 
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_process_shards(benchmark, shards):
+    _, queries = _workload()
+    engine = _sharded_engine(shards)
+    cache = BitmapCache(CACHE_MB << 20)
+    with QueryExecutor(
+        engine, jobs=4, cache=cache, exec_mode="process", workers=4
+    ) as executor:
+        executor.run_batch(queries, fetch_measures=False)  # warm + attach
+        results = benchmark(
+            lambda: executor.run_batch(queries, fetch_measures=False)
+        )
+    _results[f"process4-s{shards}"] = benchmark.stats.stats.mean
+    _answers[f"process4-s{shards}"] = [r.record_ids for r in results]
+    assert len(results) == N_QUERIES
+
+
 def test_zz_report(benchmark):
     """Write BENCH_shard_scaling.json and assert the acceptance bar."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     expected_configs = {
-        f"{mode}-s{k}" for mode in ("serial", "executor4") for k in SHARD_COUNTS
+        f"{mode}-s{k}"
+        for mode in ("serial", "executor4", "process4")
+        for k in SHARD_COUNTS
     }
     assert set(_results) == expected_configs, "all configs must have run"
     # Differential guarantee: sharding never changes an answer.
@@ -122,8 +146,18 @@ def test_zz_report(benchmark):
             for config in sorted(_results)
         },
         "speedup_at_4_shards": _results["serial-s4"] / _results["executor4-s4"],
+        "process_speedup_at_4_shards": (
+            _results["serial-s4"] / _results["process4-s4"]
+        ),
+        "process_over_thread_at_4_shards": (
+            _results["executor4-s4"] / _results["process4-s4"]
+        ),
         "speedup_by_shards": {
             str(k): _results[f"serial-s{k}"] / _results[f"executor4-s{k}"]
+            for k in SHARD_COUNTS
+        },
+        "process_speedup_by_shards": {
+            str(k): _results[f"serial-s{k}"] / _results[f"process4-s{k}"]
             for k in SHARD_COUNTS
         },
     }
@@ -132,17 +166,29 @@ def test_zz_report(benchmark):
     emit(f"\n=== Shard scaling: {N_QUERIES} zipf path queries, NY ===")
     emit(f"{'config':>16} {'s/batch':>10} {'q/s':>10}")
     for k in SHARD_COUNTS:
-        for mode in ("serial", "executor4"):
+        for mode in ("serial", "executor4", "process4"):
             config = f"{mode}-s{k}"
             emit(
                 f"{config:>16} {_results[config]:>10.4f} "
                 f"{N_QUERIES / _results[config]:>10.0f}"
             )
     speedup = payload["speedup_at_4_shards"]
+    proc_speedup = payload["process_speedup_at_4_shards"]
+    proc_over_thread = payload["process_over_thread_at_4_shards"]
     emit(f"speedup at 4 shards (executor4 vs serial): {speedup:.1f}x")
+    emit(f"speedup at 4 shards (process4 vs serial): {proc_speedup:.1f}x")
+    emit(f"process over thread at 4 shards: {proc_over_thread:.2f}x")
     emit(f"json written to {JSON_PATH.name}")
     if SCALE >= 1.0:
         assert speedup >= 1.5, (
             f"acceptance bar: warm-cache executor serving at 4 shards must "
             f"be >= 1.5x the serial loop, got {speedup:.2f}x"
+        )
+        assert proc_speedup >= 2.5, (
+            f"acceptance bar: process-parallel serving at 4 shards must be "
+            f">= 2.5x the serial loop, got {proc_speedup:.2f}x"
+        )
+        assert proc_over_thread >= 1.2, (
+            f"acceptance bar: the process pool must beat thread-mode "
+            f"serving by >= 1.2x at 4 shards, got {proc_over_thread:.2f}x"
         )

@@ -68,6 +68,9 @@ def _executor_for(args: argparse.Namespace, engine: GraphAnalyticsEngine) -> Que
         from .resilience import AdmissionController
 
         admission = AdmissionController(max_inflight=max_inflight)
+    # Process mode attaches workers to the database directory in place
+    # when its saved geometry still matches (no --shards re-partition);
+    # otherwise the executor spools a matching save to a temp dir.
     return QueryExecutor(
         engine,
         jobs=getattr(args, "jobs", 1),
@@ -75,6 +78,9 @@ def _executor_for(args: argparse.Namespace, engine: GraphAnalyticsEngine) -> Que
         admission=admission,
         default_timeout=getattr(args, "timeout", None),
         partial_ok=getattr(args, "partial_ok", False),
+        exec_mode=getattr(args, "exec_mode", None),
+        workers=getattr(args, "workers", None),
+        storage_dir=getattr(args, "database", None),
     )
 
 
@@ -392,6 +398,17 @@ def build_parser() -> argparse.ArgumentParser:
             "--partial-ok", action="store_true",
             help="on persistent shard failure return the healthy-shard "
                  "answer plus a skipped-range warning instead of failing",
+        )
+        p.add_argument(
+            "--exec-mode", choices=("serial", "thread", "process"), default=None,
+            help="how per-shard conjunctions run: serial in the calling "
+                 "thread, thread pool, or process pool over mmap'd storage "
+                 "(default: threads when --jobs > 1 on a sharded engine)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="shard-level workers for --exec-mode thread/process "
+                 "(default: --jobs)",
         )
 
     p_query = sub.add_parser("query", help="run a DSL graph query")

@@ -11,8 +11,20 @@ from .backend import StorageBackend
 from .bitmap import Bitmap, BitmapBuilder, popcount_words
 from .column import MeasureColumn, MeasureColumnBuilder
 from .iostats import IOStats, IOStatsCollector
-from .persistence import load_relation, relation_disk_usage, save_relation
-from .sharded import ShardedTable, is_sharded_dir, load_sharded, save_sharded
+from .persistence import (
+    RelationBitmapReader,
+    load_relation,
+    relation_disk_usage,
+    save_relation,
+)
+from .sharded import (
+    BitmapAttachment,
+    ShardedTable,
+    is_sharded_dir,
+    load_sharded,
+    save_sharded,
+    storage_generation,
+)
 from .table import MasterRelation
 from .wah import WahBitmap
 
@@ -31,7 +43,10 @@ __all__ = [
     "save_relation",
     "load_relation",
     "relation_disk_usage",
+    "RelationBitmapReader",
     "save_sharded",
     "load_sharded",
     "is_sharded_dir",
+    "BitmapAttachment",
+    "storage_generation",
 ]

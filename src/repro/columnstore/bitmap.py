@@ -115,6 +115,31 @@ class Bitmap:
             bm._words = padded.view(np.uint64)
         return bm
 
+    @classmethod
+    def from_packed(cls, length: int, words: np.ndarray) -> "Bitmap":
+        """Wrap an already-packed word array without copying or masking.
+
+        The zero-copy construction path: ``words`` must be ``uint64`` of
+        exactly the packed size for ``length`` with every bit past
+        ``length`` already clear — true for any array produced by
+        :meth:`words` or persisted from one.  Unlike ``Bitmap(length,
+        words)``, whose tail masking writes into the array, this never
+        mutates ``words``, so a read-only view or an ``np.memmap`` opened
+        with ``mmap_mode='r'`` can back a bitmap directly.
+        """
+        if length < 0:
+            raise ValueError(f"bitmap length must be >= 0, got {length}")
+        if words.dtype != np.uint64 or words.shape != (_words_needed(length),):
+            raise ValueError("words array has wrong dtype or shape")
+        tail = length % _WORD_BITS
+        if tail and words.size and (int(words[-1]) >> tail):
+            raise ValueError("packed words have bits set past the bitmap length")
+        bm = cls.__new__(cls)
+        bm._length = length
+        bm._ckey = None
+        bm._words = words
+        return bm
+
     # -- internals --------------------------------------------------------
 
     def _mask_tail(self) -> None:
@@ -325,12 +350,42 @@ class Bitmap:
 
     def slice(self, start: int, stop: int) -> "Bitmap":
         """Bits ``[start, stop)`` as a new bitmap (horizontal partitioning:
-        a record-range shard's segment of a relation-wide bitmap)."""
+        a record-range shard's segment of a relation-wide bitmap).
+
+        Works on the packed words directly.  A slice starting on a word
+        boundary and ending on one (or at the bitmap's end) shares the
+        packed storage as a read-only view — zero copies; any other slice
+        shifts word pairs, still 64x less data movement than unpacking to
+        booleans.
+        """
         if not 0 <= start <= stop <= self._length:
             raise IndexError(
                 f"slice [{start}, {stop}) out of range for length {self._length}"
             )
-        return Bitmap.from_bools(self.to_bools()[start:stop])
+        n = stop - start
+        if n == 0:
+            return Bitmap.zeros(0)
+        word0, bit = divmod(start, _WORD_BITS)
+        n_out = _words_needed(n)
+        if bit == 0:
+            src = self._words[word0 : word0 + n_out]
+            if stop == self._length or stop % _WORD_BITS == 0:
+                # Both ends word-aligned (the source tail is already
+                # masked): share the words, no copy at all.
+                view = src.view()
+                view.setflags(write=False)
+                return Bitmap.from_packed(n, view)
+            return Bitmap(n, src.copy())
+        # Unaligned start: out[i] = (w[i] >> bit) | (w[i+1] << 64-bit).
+        # ``bit`` is in [1, 63], so both shift amounts stay in range
+        # (numpy's uint64 shift by 64 is undefined).
+        ext = np.zeros(n_out + 1, dtype=np.uint64)
+        avail = min(self._words.size - word0, n_out + 1)
+        ext[:avail] = self._words[word0 : word0 + avail]
+        out = (ext[:n_out] >> np.uint64(bit)) | (
+            ext[1 : n_out + 1] << np.uint64(_WORD_BITS - bit)
+        )
+        return Bitmap(n, out)
 
     @staticmethod
     def concat(bitmaps: Iterable["Bitmap"]) -> "Bitmap":
@@ -341,13 +396,38 @@ class Bitmap:
         joined back in shard order — bit *i* of the result is bit
         ``i - start_of(shard)`` of that shard's segment.  ``concat`` of the
         per-shard slices of a bitmap reproduces the original exactly.
+
+        Each part is OR-merged into the output words in place: word-aligned
+        offsets copy words verbatim, unaligned ones split every word into a
+        low part (``<< bit``) and a carry into the next word (``>> 64-bit``)
+        — no boolean unpack/repack round trip.
         """
         parts = list(bitmaps)
         if not parts:
             return Bitmap.zeros(0)
         if len(parts) == 1:
             return parts[0]
-        return Bitmap.from_bools(np.concatenate([p.to_bools() for p in parts]))
+        total = sum(p._length for p in parts)
+        out = np.zeros(_words_needed(total), dtype=np.uint64)
+        offset = 0
+        for p in parts:
+            if p._length == 0:
+                continue
+            word0, bit = divmod(offset, _WORD_BITS)
+            pw = p._words
+            if bit == 0:
+                out[word0 : word0 + pw.size] |= pw
+            else:
+                out[word0 : word0 + pw.size] |= pw << np.uint64(bit)
+                # Carry bits spilling into the following word.  The final
+                # carry element is provably zero whenever it would land
+                # past the output (the part's masked tail plus the offset
+                # fits the last word), so truncating it is lossless.
+                carry = pw >> np.uint64(_WORD_BITS - bit)
+                stop = min(word0 + 1 + pw.size, out.size)
+                out[word0 + 1 : stop] |= carry[: stop - word0 - 1]
+            offset += p._length
+        return Bitmap(total, out)
 
     def resized(self, new_length: int) -> "Bitmap":
         """Return a copy truncated or zero-extended to ``new_length`` bits."""

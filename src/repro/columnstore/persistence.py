@@ -46,6 +46,7 @@ __all__ = [
     "save_relation",
     "load_relation",
     "relation_disk_usage",
+    "RelationBitmapReader",
     "FORMAT_VERSION",
 ]
 
@@ -139,12 +140,18 @@ def save_relation(
         rows = column.validity.to_indices()
         _write_array(f"m{edge_id}_rows.npy", rows)
         _write_array(f"m{edge_id}_vals.npy", column.take(rows))
+        # Packed-bits sidecar: the validity bitmap's words verbatim, so a
+        # read-only attachment (procpool workers) can mmap the bitmap
+        # zero-copy instead of rebuilding it from the sparse row list.
+        # Additive — readers without sidecar support just ignore it.
+        _write_array(f"m{edge_id}_bits.npy", np.asarray(column.validity.words()))
     for name, bitmap in relation.graph_views_for_persistence().items():
         _write_array(f"gv_{name}.npy", np.asarray(bitmap.words()))
     for name, column in relation.aggregate_views_for_persistence().items():
         rows = column.validity.to_indices()
         _write_array(f"av_{name}_rows.npy", rows)
         _write_array(f"av_{name}_vals.npy", column.take(rows))
+        _write_array(f"av_{name}_bits.npy", np.asarray(column.validity.words()))
     _notify("columns-written")
 
     manifest = {
@@ -208,7 +215,11 @@ def _read_manifest(root: FsPath) -> dict:
     return manifest
 
 
-def load_relation(directory: str | FsPath, verify: bool = True) -> MasterRelation:
+def load_relation(
+    directory: str | FsPath,
+    verify: bool = True,
+    mmap_mode: str | None = None,
+) -> MasterRelation:
     """Reconstruct a relation previously written by :func:`save_relation`.
 
     Every base-column file is checked against the manifest's size and CRC32
@@ -217,6 +228,12 @@ def load_relation(directory: str | FsPath, verify: bool = True) -> MasterRelatio
     aggregate-view file only drops that view — a warning is emitted, the
     drop is recorded in ``relation.dropped_views``, and query evaluation
     degrades to the base ``b_i`` bitmaps.
+
+    ``mmap_mode="r"`` memory-maps the column files read-only instead of
+    reading them eagerly, so attachments from several processes share the
+    OS page cache; pair it with ``verify=False`` — checksumming reads every
+    byte, which defeats the laziness.  (For a fully zero-copy *bitmap*
+    attachment, see :class:`RelationBitmapReader`.)
     """
     root = FsPath(directory)
     manifest = _read_manifest(root)
@@ -247,7 +264,7 @@ def load_relation(directory: str | FsPath, verify: bool = True) -> MasterRelatio
             if crc != entry["crc32"]:
                 raise CorruptionError(f"{path}: CRC32 mismatch (corrupted data)")
         try:
-            return np.load(path)
+            return np.load(path, mmap_mode=mmap_mode)
         except Exception as exc:  # np.load raises assorted ValueError/EOFError
             raise CorruptionError(f"{path}: unreadable .npy payload: {exc}") from None
 
@@ -296,6 +313,105 @@ def load_relation(directory: str | FsPath, verify: bool = True) -> MasterRelatio
             _drop_view(name, exc)
     relation.app_meta = manifest.get("app_meta")
     return relation
+
+
+class RelationBitmapReader:
+    """Zero-copy, read-only attachment to one persisted relation's bitmaps.
+
+    The worker-side open path of the process pool: instead of
+    :func:`load_relation` (which rebuilds dense measure columns in memory),
+    this memory-maps exactly the files a structural conjunction needs —
+    element validity bitmaps, graph-view words, aggregate-view validity —
+    with ``np.load(mmap_mode="r")``.  Nothing is copied on attach:
+
+    * element / aggregate-view bitmaps come from the packed-bits sidecars
+      (``m{id}_bits.npy`` / ``av_{name}_bits.npy``) wrapped directly via
+      :meth:`Bitmap.from_packed` — the bitmap's words *are* the mapped
+      file pages, shared across every attachment through the OS page
+      cache; relations saved before the sidecars existed fall back to
+      rebuilding from the sparse row file;
+    * graph views map ``gv_{name}.npy`` the same way.
+
+    The mapping is read-only: any write attempt through a returned bitmap
+    raises, and the attachment never dirties a page (no write-back).
+    Checksums are intentionally skipped — verifying would read every byte
+    and defeat the laziness; the atomic generation-swap protocol already
+    guarantees a committed generation is never modified in place.
+    """
+
+    def __init__(self, directory: str | FsPath):
+        root = FsPath(directory)
+        manifest = _read_manifest(root)
+        gen_dir = root / str(manifest["directory"])
+        if not gen_dir.is_dir():
+            raise CorruptionError(
+                f"{root}: manifest names generation {manifest['directory']!r} "
+                "but that directory is missing"
+            )
+        files = manifest["files"]
+        if not isinstance(files, dict):
+            raise ManifestError(f"{root}/{_MANIFEST}: 'files' must be an object")
+        self._gen_dir = gen_dir
+        self._files = files
+        self.generation = int(manifest["generation"])
+        self.n_records = int(manifest["n_records"])
+        self._element_ids = {int(i) for i in manifest["element_ids"]}
+        self._graph_views = set(manifest["graph_views"])
+        self._aggregate_views = set(manifest["aggregate_views"])
+        self._bitmaps: dict[tuple[str, object], Bitmap] = {}
+
+    def _mmap(self, name: str) -> np.ndarray:
+        path = self._gen_dir / name
+        try:
+            return np.load(path, mmap_mode="r")
+        except Exception as exc:
+            raise CorruptionError(f"{path}: unreadable .npy payload: {exc}") from None
+
+    def _packed_or_rows(self, sidecar: str, rows_file: str) -> Bitmap:
+        if sidecar in self._files:
+            return Bitmap.from_packed(self.n_records, self._mmap(sidecar))
+        rows = np.asarray(self._mmap(rows_file), dtype=np.int64)
+        return Bitmap.from_indices(self.n_records, rows)
+
+    def has_element(self, edge_id: int) -> bool:
+        return edge_id in self._element_ids
+
+    def bitmap(self, edge_id: int) -> Bitmap:
+        """The element's validity bitmap; all-zero when the relation (this
+        shard) never saw the element — same contract as the live table."""
+        key = ("m", edge_id)
+        cached = self._bitmaps.get(key)
+        if cached is None:
+            if edge_id not in self._element_ids:
+                cached = Bitmap.zeros(self.n_records)
+            else:
+                cached = self._packed_or_rows(
+                    f"m{edge_id}_bits.npy", f"m{edge_id}_rows.npy"
+                )
+            self._bitmaps[key] = cached
+        return cached
+
+    def view_bitmap(self, name: str) -> Bitmap:
+        key = ("gv", name)
+        cached = self._bitmaps.get(key)
+        if cached is None:
+            if name not in self._graph_views:
+                raise KeyError(f"no graph view {name!r}")
+            cached = Bitmap.from_packed(self.n_records, self._mmap(f"gv_{name}.npy"))
+            self._bitmaps[key] = cached
+        return cached
+
+    def aggregate_view_bitmap(self, name: str) -> Bitmap:
+        key = ("av", name)
+        cached = self._bitmaps.get(key)
+        if cached is None:
+            if name not in self._aggregate_views:
+                raise KeyError(f"no aggregate view {name!r}")
+            cached = self._packed_or_rows(
+                f"av_{name}_bits.npy", f"av_{name}_rows.npy"
+            )
+            self._bitmaps[key] = cached
+        return cached
 
 
 def relation_disk_usage(directory: str | FsPath) -> int:

@@ -51,6 +51,8 @@ __all__ = [
     "save_sharded",
     "load_sharded",
     "is_sharded_dir",
+    "BitmapAttachment",
+    "storage_generation",
     "SHARD_MANIFEST",
 ]
 
@@ -557,16 +559,9 @@ _REQUIRED_SHARD_KEYS = (
 )
 
 
-def load_sharded(directory: str | FsPath, verify: bool = True) -> ShardedTable:
-    """Reconstruct a sharded relation written by :func:`save_sharded`.
-
-    Each shard loads through :func:`load_relation` with the full PR-1
-    integrity checking: corrupt base columns raise, damaged view files drop
-    that view from the shard (and — because a view must be present in
-    every shard to be usable — from the whole table, recorded in
-    ``dropped_views``).
-    """
-    root = FsPath(directory)
+def _load_shard_manifest(root: FsPath) -> tuple[dict, FsPath, list[int]]:
+    """Validated root shard manifest: ``(manifest, generation dir,
+    expected per-shard record counts)``."""
     path = root / SHARD_MANIFEST
     if not path.is_file():
         raise PersistenceError(f"{root} is not a sharded relation (no {SHARD_MANIFEST})")
@@ -595,12 +590,32 @@ def load_sharded(directory: str | FsPath, verify: bool = True) -> ShardedTable:
     expected = [int(n) for n in manifest["shard_records"]]
     if n_shards < 1 or len(expected) != n_shards:
         raise ManifestError(f"{path}: inconsistent shard geometry")
+    return manifest, gen_dir, expected
+
+
+def load_sharded(
+    directory: str | FsPath, verify: bool = True, mmap_mode: str | None = None
+) -> ShardedTable:
+    """Reconstruct a sharded relation written by :func:`save_sharded`.
+
+    Each shard loads through :func:`load_relation` with the full PR-1
+    integrity checking: corrupt base columns raise, damaged view files drop
+    that view from the shard (and — because a view must be present in
+    every shard to be usable — from the whole table, recorded in
+    ``dropped_views``).  ``mmap_mode`` is forwarded to every shard load
+    (see :func:`load_relation` for the zero-copy caveats).
+    """
+    root = FsPath(directory)
+    manifest, gen_dir, expected = _load_shard_manifest(root)
+    n_shards = len(expected)
     table = ShardedTable(
         n_shards, partition_width=int(manifest["partition_width"])
     )
     table.shards = []
     for i in range(n_shards):
-        shard = load_relation(gen_dir / f"shard-{i:03d}", verify=verify)
+        shard = load_relation(
+            gen_dir / f"shard-{i:03d}", verify=verify, mmap_mode=mmap_mode
+        )
         if shard.n_records != expected[i]:
             raise ManifestError(
                 f"{root}: shard {i} holds {shard.n_records} records but the "
@@ -611,3 +626,68 @@ def load_sharded(directory: str | FsPath, verify: bool = True) -> ShardedTable:
         table.dropped_views.extend(shard.dropped_views)
     table.app_meta = manifest.get("app_meta")
     return table
+
+
+# -- zero-copy bitmap attachment (the procpool worker's open path) -----------
+
+
+class BitmapAttachment:
+    """Read-only, zero-copy attachment to a persisted engine layout.
+
+    One :class:`~repro.columnstore.persistence.RelationBitmapReader` per
+    record-range shard (a single-relation layout attaches as one shard),
+    plus the geometry the shard-parallel operators need.  Attaching maps
+    files lazily — no column data is read until a bitmap is requested, and
+    requested bitmaps are backed by the mapped pages themselves, shared
+    across every process attached to the same generation.
+    """
+
+    def __init__(self, directory: str | FsPath):
+        from .persistence import RelationBitmapReader
+
+        root = FsPath(directory)
+        if is_sharded_dir(root):
+            manifest, gen_dir, expected = _load_shard_manifest(root)
+            self.generation = int(manifest["generation"])
+            self.readers = [
+                RelationBitmapReader(gen_dir / f"shard-{i:03d}")
+                for i in range(len(expected))
+            ]
+            for i, (reader, n) in enumerate(zip(self.readers, expected, strict=True)):
+                if reader.n_records != n:
+                    raise ManifestError(
+                        f"{root}: shard {i} holds {reader.n_records} records "
+                        f"but the manifest expects {n}"
+                    )
+        else:
+            reader = RelationBitmapReader(root)
+            self.generation = reader.generation
+            self.readers = [reader]
+        starts, offset = [], 0
+        for reader in self.readers:
+            starts.append(offset)
+            offset += reader.n_records
+        self.shard_starts = starts
+        self.n_records = offset
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.readers)
+
+
+def storage_generation(directory: str | FsPath) -> int | None:
+    """The committed generation of a persisted layout (sharded or plain);
+    None when ``directory`` holds no readable manifest.  A cheap staleness
+    probe: workers compare it against a task's stamp before re-attaching."""
+    root = FsPath(directory)
+    manifest = _try_read_shard_manifest(root)
+    if manifest is None:
+        from .persistence import _try_read_manifest
+
+        manifest = _try_read_manifest(root)
+    if manifest is None or "generation" not in manifest:
+        return None
+    try:
+        return int(manifest["generation"])
+    except (TypeError, ValueError):
+        return None

@@ -177,6 +177,9 @@ class GraphAnalyticsEngine:
         # use_shard_mapper(); None evaluates shards serially in the
         # calling thread.
         self._shard_map = None
+        # Optional out-of-process shard compute, installed via
+        # use_shard_compute(); None folds conjunctions in-process.
+        self._shard_compute = None
         # Optional resilience policy (repro.resilience.ResiliencePolicy),
         # installed by use_resilience(); supervises per-shard execution
         # with retries, circuit breakers, and partial_ok degraded mode.
@@ -387,6 +390,16 @@ class GraphAnalyticsEngine:
         :class:`~repro.exec.QueryExecutor` installs a thread-pool mapper;
         without one, shards evaluate serially in the calling thread."""
         self._shard_map = mapper
+
+    def use_shard_compute(self, compute) -> None:
+        """Install (or with ``None`` remove) a remote shard compute:
+        ``compute(task, parts, keys, ctx) -> Bitmap``, evaluating one
+        shard's conjunction out-of-process (see
+        :class:`~repro.exec.ProcessShardPool`).  Supervision — retries,
+        breakers, deadlines, ``partial_ok`` — stays in this process; only
+        the fold itself moves.  Traced queries always run in-process so
+        spans keep their operator-level detail."""
+        self._shard_compute = compute
 
     # -- persistence ----------------------------------------------------------
 
@@ -767,6 +780,7 @@ class GraphAnalyticsEngine:
         cache, epoch, catalog = self._bitmap_cache, self._epoch, self.catalog
         tracer = self._tracer
         policy = self._resilience
+        remote = self._shard_compute
         lengths = [task.relation.n_records for task in tasks]
 
         def run_supervised(task, length, task_tracer):
@@ -775,6 +789,10 @@ class GraphAnalyticsEngine:
             start, stop = task.start, task.start + length
 
             def compute():
+                # Traced queries stay in-process: operator spans need the
+                # local fold.  Everything else may run out-of-process.
+                if remote is not None and task_tracer is None:
+                    return remote(task, parts, keys, ctx)
                 return conjunction(
                     task.relation,
                     catalog,

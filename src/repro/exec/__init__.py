@@ -17,6 +17,21 @@ breaking, and ``partial_ok`` degraded execution.
 """
 
 from .cache import BitmapCache, CacheStats
-from .executor import QueryExecutor
+from .executor import EXEC_MODES, QueryExecutor
+from .procpool import (
+    ProcessShardPool,
+    StaleGenerationError,
+    WorkerCrashedError,
+    WorkerTaskError,
+)
 
-__all__ = ["BitmapCache", "CacheStats", "QueryExecutor"]
+__all__ = [
+    "BitmapCache",
+    "CacheStats",
+    "QueryExecutor",
+    "EXEC_MODES",
+    "ProcessShardPool",
+    "WorkerCrashedError",
+    "WorkerTaskError",
+    "StaleGenerationError",
+]

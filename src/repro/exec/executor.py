@@ -30,19 +30,24 @@ Two scheduling decisions matter for the cache:
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import threading
 import time
 from collections.abc import Iterable, Iterator, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from itertools import islice
+from pathlib import Path
 
+from ..columnstore import storage_generation
 from ..core.engine import (
     GraphAnalyticsEngine,
     GraphQueryResult,
     MaterializationReport,
     PathAggregationResult,
 )
+from ..core.engine.operators import conjunction
 from ..core.query import GraphQuery, PathAggregationQuery, QueryExpr
 from ..core.record import GraphRecord
 from ..errors import (
@@ -57,8 +62,11 @@ from ..resilience import (
     ResiliencePolicy,
 )
 from .cache import BitmapCache
+from .procpool import ProcessShardPool, resolve_fragment
 
-__all__ = ["QueryExecutor"]
+__all__ = ["QueryExecutor", "EXEC_MODES"]
+
+EXEC_MODES = ("serial", "thread", "process")
 
 AnyQuery = GraphQuery | QueryExpr | PathAggregationQuery
 AnyResult = GraphQueryResult | PathAggregationResult
@@ -171,6 +179,24 @@ class QueryExecutor:
     partial_ok:
         Default degraded-mode policy for queries served by this executor
         (overridable per call).
+    exec_mode:
+        How each query's per-shard conjunctions run: ``"serial"`` in the
+        calling thread, ``"thread"`` over a dedicated thread pool, or
+        ``"process"`` out-of-process on a persistent
+        :class:`~repro.exec.ProcessShardPool` attached to mmap'd storage.
+        None keeps the legacy behaviour (threads when ``jobs > 1`` and
+        the engine is sharded, serial otherwise).
+    workers:
+        Shard-level parallelism for ``thread``/``process`` modes
+        (defaults to ``jobs``); in process mode this is the worker
+        process count.
+    storage_dir:
+        For ``process`` mode: a committed save of *this* engine to
+        attach the workers to.  When omitted (or when its geometry does
+        not match the engine) the executor spools a save to a private
+        temp directory and cleans it up on :meth:`close`.  Executor
+        write methods re-save and re-stamp the pool, so mutations stay
+        visible to the workers.
     """
 
     def __init__(
@@ -184,9 +210,18 @@ class QueryExecutor:
         resilience: ResiliencePolicy | None = None,
         default_timeout: float | None = None,
         partial_ok: bool = False,
+        exec_mode: str | None = None,
+        workers: int | None = None,
+        storage_dir=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if exec_mode is not None and exec_mode not in EXEC_MODES:
+            raise ValueError(
+                f"exec_mode must be one of {EXEC_MODES} or None, got {exec_mode!r}"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
         if cache is None and cache_mb:
             cache = BitmapCache(int(cache_mb * (1 << 20)))
         self.engine = engine
@@ -207,15 +242,119 @@ class QueryExecutor:
             registry.gauge("engine.shards").set(getattr(engine, "n_shards", 1))
         self._rw = _ReadWriteLock()
         self._pool = ThreadPoolExecutor(max_workers=jobs) if jobs > 1 else None
+        self.exec_mode = exec_mode
+        self.workers = workers if workers is not None else jobs
         # Shard fan-out uses its own pool: batch workers submitting shard
         # tasks back into their own pool could exhaust it and deadlock.
         self._shard_pool = None
-        if jobs > 1 and getattr(engine, "n_shards", 1) > 1:
+        self._proc_pool = None
+        self._proc_dir: Path | None = None
+        self._proc_dir_owned = False
+        n_shards = getattr(engine, "n_shards", 1)
+        wants_threads = (
+            exec_mode == "thread"
+            or exec_mode == "process"  # threads issue the worker IPC
+            or (exec_mode is None and jobs > 1)
+        )
+        if wants_threads and n_shards > 1:
+            fanout = max(self.workers if exec_mode else jobs, 1)
             self._shard_pool = ThreadPoolExecutor(
-                max_workers=min(jobs, engine.n_shards), thread_name_prefix="shard"
+                max_workers=min(fanout, n_shards), thread_name_prefix="shard"
             )
             engine.use_shard_mapper(self._run_shards)
+        if exec_mode == "process":
+            self._attach_process_pool(storage_dir)
         self._closed = False
+
+    def _attach_process_pool(self, storage_dir) -> None:
+        """Bind a worker-process pool to a committed save of the engine.
+
+        Reuses ``storage_dir`` when it holds a committed layout with this
+        engine's geometry (the CLI passes the database it just loaded
+        from); otherwise spools ``engine.save`` into a private temp
+        directory.  The pool's stamp starts at the directory's committed
+        generation and the engine's current epoch.
+        """
+        engine = self.engine
+        target = None
+        if storage_dir is not None:
+            candidate = Path(storage_dir)
+            if storage_generation(candidate) is not None and self._geometry_matches(
+                candidate
+            ):
+                target = candidate
+        if target is None:
+            target = Path(tempfile.mkdtemp(prefix="repro-procpool-"))
+            self._proc_dir_owned = True
+            engine.save(target)
+        self._proc_dir = target
+        self._proc_pool = ProcessShardPool(
+            target,
+            workers=max(self.workers, 1),
+            stamp=(storage_generation(target), engine.epoch),
+            registry=self.registry,
+        )
+        engine.use_shard_compute(self._remote_shard_compute)
+
+    def _geometry_matches(self, directory: Path) -> bool:
+        """Cheap sanity check that a saved layout is plausibly this
+        engine's current state: shard count and total records agree."""
+        from ..columnstore import BitmapAttachment
+
+        try:
+            attachment = BitmapAttachment(directory)
+        except Exception:
+            return False
+        return (
+            attachment.n_shards == getattr(self.engine, "n_shards", 1)
+            and attachment.n_records == self.engine.n_records
+        )
+
+    def _resync_process_pool(self) -> None:
+        """Republish the engine to the pool's directory after a mutation
+        and advance the stamp; stale in-flight replies get discarded."""
+        if self._proc_pool is None:
+            return
+        self.engine.save(self._proc_dir)
+        self._proc_pool.set_stamp(
+            (storage_generation(self._proc_dir), self.engine.epoch)
+        )
+
+    def _remote_shard_compute(self, task, parts, keys, ctx):
+        """Engine hook: evaluate one shard's conjunction on the worker
+        pool, keeping the per-shard full-key cache in this process.
+
+        Falls back to the in-process fold when the pool's stamp lags the
+        engine epoch (a mutation bypassed the executor's write methods) —
+        correctness never depends on the resync having happened.
+        """
+        pool = self._proc_pool
+        epoch = self.engine.epoch
+        if pool is None or pool.stamp[1] != epoch:
+            return conjunction(
+                task.relation,
+                self.engine.catalog,
+                parts,
+                keys,
+                self.cache,
+                epoch,
+                shard=task.shard,
+                ctx=ctx,
+            )
+        cache = self.cache
+        key = keys[-1] if keys else None
+        cacheable = (
+            cache is not None and key is not None and all(p.covered for p in parts)
+        )
+        if cacheable:
+            hit = cache.lookup(epoch, key, shard=task.shard)
+            if hit is not None:
+                return hit
+        fragment = resolve_fragment(self.engine.catalog, parts)
+        result = pool.execute(task.shard, fragment, ctx)
+        if cacheable:
+            cache.put(epoch, key, result, shard=task.shard)
+        return result
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -228,6 +367,13 @@ class QueryExecutor:
         if self._shard_pool is not None:
             self.engine.use_shard_mapper(None)
             self._shard_pool.shutdown(wait=True)
+        if self._proc_pool is not None:
+            self.engine.use_shard_compute(None)
+            self._proc_pool.close()
+            self._proc_pool = None
+        if self._proc_dir_owned and self._proc_dir is not None:
+            shutil.rmtree(self._proc_dir, ignore_errors=True)
+            self._proc_dir = None
 
     def _run_shards(self, fn, tasks) -> list:
         """Parallel shard mapper installed on the engine: evaluate one
@@ -441,16 +587,23 @@ class QueryExecutor:
         """Exclusive append with incremental view maintenance; readers in
         flight finish first, and the epoch bump invalidates the cache."""
         with self._rw.write():
-            return self.engine.append_records(records)
+            count = self.engine.append_records(records)
+            self._resync_process_pool()
+            return count
 
     def materialize_graph_views(self, *args, **kwargs) -> MaterializationReport:
         with self._rw.write():
-            return self.engine.materialize_graph_views(*args, **kwargs)
+            report = self.engine.materialize_graph_views(*args, **kwargs)
+            self._resync_process_pool()
+            return report
 
     def materialize_aggregate_views(self, *args, **kwargs) -> MaterializationReport:
         with self._rw.write():
-            return self.engine.materialize_aggregate_views(*args, **kwargs)
+            report = self.engine.materialize_aggregate_views(*args, **kwargs)
+            self._resync_process_pool()
+            return report
 
     def drop_all_views(self) -> None:
         with self._rw.write():
             self.engine.drop_all_views()
+            self._resync_process_pool()

@@ -1,0 +1,564 @@
+"""Process-parallel shard execution over zero-copy mmap storage.
+
+:class:`ProcessShardPool` keeps a persistent crew of worker *processes*
+that evaluate conjunction shard tasks out-of-process, sidestepping the
+GIL for the CPU-bound word-level AND folds.  The design leans on three
+pieces of shared-nothing plumbing:
+
+* **Zero-copy attach** — workers never deserialize the relation.  Each
+  worker memory-maps the persisted generation directory read-only through
+  :class:`~repro.columnstore.BitmapAttachment`, so every attached process
+  shares the same OS page cache for the column files; attaching costs one
+  manifest read, not a data copy.
+* **Plan fragments, not plans** — the parent resolves each
+  :class:`~repro.core.rewrite.ConjunctionPart` to a storage-level
+  ``(kind, token)`` pair (element id, view name) before pickling, so the
+  worker needs neither the catalog nor the planner.
+* **Shared-memory results** — a shard's result bitmap travels back as a
+  :mod:`multiprocessing.shared_memory` block (name + word count), not a
+  pickled array, so the reply queue carries only a few bytes per task.
+
+Every task is stamped with the pool's current ``(generation, epoch)``.
+Workers lazily re-attach when the stamp's generation moves past their
+mapped one, and refuse tasks whose generation the committed on-disk
+manifest does not match (status ``"stale"``); the parent discards any
+reply whose stamp no longer equals the pool's and re-dispatches.  Crashed
+workers are respawned by the collector thread and their in-flight tasks
+fail with :class:`WorkerCrashedError` — a plain ``RuntimeError``, so the
+engine's :class:`~repro.resilience.ResiliencePolicy` retries it exactly
+like a thread-mode shard fault.  A worker that misses the query deadline
+answers ``"timeout"``, surfaced as the same
+:class:`~repro.errors.QueryTimeoutError` the in-process path raises.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import os
+import threading
+import time
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from ..columnstore import Bitmap, BitmapAttachment, storage_generation
+from ..errors import QueryTimeoutError
+
+__all__ = [
+    "ProcessShardPool",
+    "WorkerCrashedError",
+    "WorkerTaskError",
+    "StaleGenerationError",
+    "resolve_fragment",
+]
+
+# Seconds between liveness sweeps / future polls.  Small enough that a
+# cancelled query stops within one operator step, large enough not to
+# busy-wait.
+_POLL = 0.02
+# How many times execute() re-dispatches a task whose worker reports the
+# on-disk generation does not match the stamp before giving up.
+_STALE_RETRIES = 3
+
+
+class WorkerCrashedError(RuntimeError):
+    """The worker process holding a task died before answering.
+
+    Deliberately *not* a :class:`~repro.errors.ResilienceError`: the
+    resilience policy treats it as an ordinary shard fault — charged to
+    the shard's breaker, retried, and skippable under ``partial_ok``.
+    """
+
+
+class WorkerTaskError(RuntimeError):
+    """A task raised inside the worker; carries the remote traceback tail."""
+
+
+class StaleGenerationError(RuntimeError):
+    """Workers kept seeing a different committed generation than the stamp."""
+
+
+def resolve_fragment(catalog, parts) -> tuple:
+    """Pre-resolve conjunction parts to storage-level ``(kind, token)``.
+
+    Elements become integer ids (``None`` when the catalog has never seen
+    the edge — the worker answers zeros, matching
+    :func:`~repro.core.engine.operators.fetch_part`); views pass their
+    storage names through.  The result is a small, picklable tuple with
+    no dependence on the catalog object.
+    """
+    resolved = []
+    for part in parts:
+        if part.kind == "element":
+            resolved.append(("element", catalog.get_id(part.token)))
+        else:
+            resolved.append((part.kind, part.token))
+    return tuple(resolved)
+
+
+# -- worker side --------------------------------------------------------------
+
+
+def _fragment_bitmap(reader, kind, token) -> Bitmap:
+    if kind == "element":
+        if token is None or not reader.has_element(token):
+            return Bitmap.zeros(reader.n_records)
+        return reader.bitmap(token)
+    if kind == "graph-view":
+        return reader.view_bitmap(token)
+    return reader.aggregate_view_bitmap(token)
+
+
+def _ship_result(result: Bitmap) -> tuple:
+    """Copy a result bitmap into a fresh shared-memory block.
+
+    Returns the ``(shm_name, n_words, length)`` payload; an all-zero
+    result ships as ``(None, 0, length)`` with no block at all.  The
+    worker unregisters the block from its own resource tracker before
+    closing: ownership transfers to the parent, which unlinks after
+    copying (or the collector unlinks if the future was abandoned).
+    """
+    if not result.any():
+        return (None, 0, result.length)
+    words = np.asarray(result.words())
+    block = shared_memory.SharedMemory(create=True, size=max(words.nbytes, 1))
+    try:
+        np.ndarray(words.shape, dtype=np.uint64, buffer=block.buf)[:] = words
+        name = block.name
+        # resource_tracker would unlink the segment when this process
+        # exits; the parent now owns it.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(block._name, "shared_memory")
+        except Exception:
+            pass
+        return (name, words.size, result.length)
+    finally:
+        block.close()
+
+
+def _worker_main(worker_id, storage_dir, conn):
+    """Worker loop: attach lazily, fold fragments, ship bitmaps back.
+
+    Transport is one duplex pipe per worker (no queues): a pipe has no
+    cross-process lock to poison, so a SIGKILL'd worker never wedges its
+    replacement — the parent just opens a fresh pipe for the respawn.
+    """
+    storage_dir = Path(storage_dir)
+    attachment = None
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break  # parent went away
+        if msg is None:
+            break
+        task_id, shard, stamp, fragment, budget = msg
+        deadline = None if budget is None else time.monotonic() + budget
+        try:
+            generation = stamp[0]
+            if attachment is None or attachment.generation != generation:
+                if storage_generation(storage_dir) != generation:
+                    conn.send((task_id, worker_id, stamp, "stale", None))
+                    continue
+                attachment = BitmapAttachment(storage_dir)
+            reader = attachment.readers[shard]
+            result = None
+            timed_out = False
+            for kind, token in fragment:
+                if deadline is not None and time.monotonic() >= deadline:
+                    timed_out = True
+                    break
+                part = _fragment_bitmap(reader, kind, token)
+                result = part if result is None else result & part
+                if not result.any():
+                    break  # short-circuit: AND can only stay empty
+            if timed_out:
+                conn.send((task_id, worker_id, stamp, "timeout", budget))
+                continue
+            if result is None:
+                result = Bitmap.zeros(reader.n_records)
+            conn.send((task_id, worker_id, stamp, "ok", _ship_result(result)))
+        except Exception as exc:  # answer *something* or the task hangs
+            # A failed attach may be a half-committed swap; drop the
+            # mapping so the next task re-probes the manifest.
+            attachment = None
+            detail = f"{type(exc).__name__}: {exc}"
+            try:
+                conn.send((task_id, worker_id, stamp, "error", detail))
+            except Exception:
+                break
+
+
+# -- parent side --------------------------------------------------------------
+
+
+class _Future:
+    """One in-flight task's reply slot, with abandon-aware handoff.
+
+    The collector thread resolves it; the waiting query thread either
+    takes the reply or abandons the future (deadline/cancel fired), in
+    which case the *collector* owns cleanup of any shared-memory payload.
+    """
+
+    __slots__ = ("_event", "_lock", "reply", "_abandoned")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self.reply = None
+        self._abandoned = False
+
+    def resolve(self, reply) -> bool:
+        """Deliver the reply; False means the waiter already walked away
+        and the caller must dispose of the payload."""
+        with self._lock:
+            if self._abandoned:
+                return False
+            self.reply = reply
+            self._event.set()
+            return True
+
+    def abandon(self) -> object:
+        """Stop waiting; returns an undisposed reply if one raced in."""
+        with self._lock:
+            self._abandoned = True
+            return self.reply
+
+    def wait(self, timeout: float) -> bool:
+        return self._event.wait(timeout)
+
+
+def _unlink_payload(status, payload) -> None:
+    if status != "ok" or payload is None or payload[0] is None:
+        return
+    try:
+        block = shared_memory.SharedMemory(name=payload[0])
+        block.close()
+        block.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class ProcessShardPool:
+    """Persistent worker-process pool bound to one storage directory.
+
+    Parameters
+    ----------
+    storage_dir:
+        A committed engine layout (``engine.save`` target).  Workers
+        attach to its current generation with read-only mmaps.
+    workers:
+        Number of worker processes.  Shards route to workers by
+        ``shard % workers`` so a worker re-serves the same shards across
+        queries (its mapped pages stay hot).
+    stamp:
+        The pool's initial ``(generation, epoch)``; every task carries
+        the stamp current at submit time, and replies stamped otherwise
+        are discarded.
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry`; the pool tallies
+        ``pool.tasks``, ``pool.worker_respawns``, ``pool.stale_discarded``
+        and keeps a ``pool.workers`` gauge.
+    start_method:
+        ``multiprocessing`` start method.  Defaults to ``forkserver``
+        when available (``fork`` would duplicate the parent's thread
+        locks), else ``spawn``; override with ``REPRO_MP_START``.
+    """
+
+    def __init__(
+        self,
+        storage_dir,
+        workers: int,
+        stamp: tuple[int, int],
+        registry=None,
+        start_method: str | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("process pool needs at least 1 worker")
+        self._storage_dir = str(storage_dir)
+        self._n_workers = workers
+        self._stamp = tuple(stamp)
+        self._registry = registry
+        method = (
+            start_method
+            or os.environ.get("REPRO_MP_START")
+            or (
+                "forkserver"
+                if "forkserver" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        )
+        self._ctx = multiprocessing.get_context(method)
+        self._task_counter = itertools.count()
+        self._lock = threading.Lock()
+        self._futures: dict[int, tuple[_Future, int]] = {}
+        self._closing = False
+        # One duplex pipe per worker (send under the per-worker lock; the
+        # collector is the only receiver).  Pipes, unlike Queues, share no
+        # lock with the child, so a crashed worker cannot poison the
+        # channel for its respawned replacement.
+        self._conns: list = [None] * workers
+        self._conn_locks = [threading.Lock() for _ in range(workers)]
+        self._procs: list = [None] * workers
+        for i in range(workers):
+            self._spawn(i)
+        self._collector = threading.Thread(
+            target=self._collect, name="procpool-collector", daemon=True
+        )
+        self._collector.start()
+        if registry is not None:
+            registry.gauge("pool.workers").set(workers)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _spawn(self, worker_id: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self._storage_dir, child_conn),
+            name=f"repro-shard-worker-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # the worker holds the only read end now
+        self._conns[worker_id] = parent_conn
+        self._procs[worker_id] = proc
+
+    def close(self) -> None:
+        """Stop workers and the collector; idempotent."""
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            pending = list(self._futures.values())
+            self._futures.clear()
+        for fut, _ in pending:
+            fut.resolve((None, None, None, "error", "pool closed"))
+        for worker_id, conn in enumerate(self._conns):
+            try:
+                with self._conn_locks[worker_id]:
+                    conn.send(None)
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        if self._collector.is_alive():
+            self._collector.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # -- stamps ---------------------------------------------------------------
+
+    @property
+    def stamp(self) -> tuple[int, int]:
+        return self._stamp
+
+    def set_stamp(self, stamp: tuple[int, int]) -> None:
+        """Advance the pool's ``(generation, epoch)`` after a re-save.
+
+        In-flight replies carrying the old stamp are discarded by their
+        waiters and re-dispatched under the new one.
+        """
+        self._stamp = tuple(stamp)
+
+    @property
+    def workers(self) -> int:
+        return self._n_workers
+
+    def worker_pids(self) -> list[int]:
+        """Live worker pids (test hook for crash injection)."""
+        return [p.pid for p in self._procs]
+
+    # -- collector ------------------------------------------------------------
+
+    def _collect(self) -> None:
+        """Drain replies, resolve futures, respawn dead workers."""
+        while True:
+            if self._closing:
+                return
+            with self._lock:
+                conns = [c for c in self._conns if c is not None]
+            try:
+                ready = multiprocessing.connection.wait(conns, timeout=_POLL)
+            except (OSError, ValueError):
+                # A conn was closed/replaced under us; re-snapshot.
+                ready = []
+            for conn in ready:
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError):
+                    continue  # dead worker; the sweep below respawns it
+                task_id = reply[0]
+                with self._lock:
+                    entry = self._futures.pop(task_id, None)
+                if entry is None or not entry[0].resolve(reply):
+                    # No waiter (abandoned / pool closing): the payload's
+                    # shm block is ours to unlink.
+                    _unlink_payload(reply[3], reply[4])
+            self._sweep_dead_workers()
+
+    def _sweep_dead_workers(self) -> None:
+        for worker_id, proc in enumerate(self._procs):
+            if proc.is_alive():
+                continue
+            with self._lock:
+                if self._closing:
+                    return
+                orphans = [
+                    (tid, fut)
+                    for tid, (fut, wid) in self._futures.items()
+                    if wid == worker_id
+                ]
+                for tid, _ in orphans:
+                    del self._futures[tid]
+                try:
+                    self._conns[worker_id].close()
+                except Exception:
+                    pass
+                self._spawn(worker_id)  # fresh process, fresh pipe
+            if self._registry is not None:
+                self._registry.counter("pool.worker_respawns").inc()
+            exitcode = proc.exitcode
+            for tid, fut in orphans:
+                fut.resolve(
+                    (
+                        tid,
+                        worker_id,
+                        None,
+                        "crashed",
+                        f"worker {worker_id} died (exit code {exitcode})",
+                    )
+                )
+
+    # -- execution ------------------------------------------------------------
+
+    def _submit(self, shard: int, stamp, fragment, budget) -> _Future:
+        worker_id = shard % self._n_workers
+        fut = _Future()
+        task_id = next(self._task_counter)
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("process pool is closed")
+            self._futures[task_id] = (fut, worker_id)
+            conn = self._conns[worker_id]
+        try:
+            with self._conn_locks[worker_id]:
+                conn.send((task_id, shard, stamp, fragment, budget))
+        except (OSError, BrokenPipeError):
+            # The worker died between the snapshot and the send; resolve
+            # the future crashed so the policy retries after respawn.
+            with self._lock:
+                self._futures.pop(task_id, None)
+            fut.resolve(
+                (
+                    task_id,
+                    worker_id,
+                    None,
+                    "crashed",
+                    f"worker {worker_id} pipe broken at submit",
+                )
+            )
+        if self._registry is not None:
+            self._registry.counter("pool.tasks").inc()
+        return fut
+
+    def _wait(self, fut: _Future, ctx) -> tuple:
+        """Block on a future, keeping the query's deadline/cancel checks
+        cooperative parent-side; abandoning on a raise."""
+        try:
+            while not fut.wait(_POLL):
+                if ctx is not None:
+                    ctx.check()
+            # The deadline may have lapsed while the task was in flight;
+            # honour it within one round-trip, like the in-process path
+            # honours it within one operator step.
+            if ctx is not None:
+                ctx.check()
+        except BaseException:
+            reply = fut.abandon()
+            if reply is not None:
+                _unlink_payload(reply[3], reply[4])
+            raise
+        return fut.reply
+
+    def _materialize(self, payload) -> Bitmap:
+        shm_name, n_words, length = payload
+        if shm_name is None:
+            return Bitmap.zeros(length)
+        block = shared_memory.SharedMemory(name=shm_name)
+        try:
+            words = np.ndarray((n_words,), dtype=np.uint64, buffer=block.buf).copy()
+        finally:
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:
+                pass
+        return Bitmap.from_packed(length, words)
+
+    def execute(self, shard: int, fragment: tuple, ctx=None) -> Bitmap:
+        """Run one shard fragment remotely and return its result bitmap.
+
+        Retries transparently when the reply's stamp lags a concurrent
+        :meth:`set_stamp` (generation swap mid-flight — the stale result
+        is discarded, never returned) and when a worker reports the
+        on-disk generation out of step (bounded by ``_STALE_RETRIES``).
+        Worker crashes and in-task errors surface as plain
+        ``RuntimeError`` subclasses for the resilience policy to retry;
+        deadline misses surface as :class:`~repro.errors.QueryTimeoutError`.
+        """
+        stale_left = _STALE_RETRIES
+        while True:
+            if ctx is not None:
+                ctx.check()
+            stamp = self._stamp
+            budget = None
+            if ctx is not None and ctx.deadline is not None:
+                budget = ctx.deadline.remaining()
+            reply = self._wait(self._submit(shard, stamp, fragment, budget), ctx)
+            _, _, reply_stamp, status, payload = reply
+            if status == "ok":
+                if reply_stamp != self._stamp:
+                    # Generation/epoch moved while the task was in
+                    # flight: the bitmap answers a dead snapshot.
+                    _unlink_payload(status, payload)
+                    if self._registry is not None:
+                        self._registry.counter("pool.stale_discarded").inc()
+                    continue
+                return self._materialize(payload)
+            if status == "stale":
+                if reply_stamp != self._stamp:
+                    continue  # stamp moved; redo under the current one
+                stale_left -= 1
+                if stale_left <= 0:
+                    raise StaleGenerationError(
+                        f"shard {shard}: workers see generation "
+                        f"{storage_generation(self._storage_dir)} on disk "
+                        f"but the pool stamp is {self._stamp[0]}"
+                    )
+                time.sleep(_POLL)
+                continue
+            if status == "timeout":
+                raise QueryTimeoutError(
+                    f"query deadline of {payload:g}s exceeded", budget=payload
+                )
+            if status == "crashed":
+                raise WorkerCrashedError(payload)
+            raise WorkerTaskError(f"shard {shard}: {payload}")

@@ -27,6 +27,7 @@ from repro.core import (
     PathAggregationQuery,
 )
 from repro.exec import BitmapCache, QueryExecutor
+from repro.resilience import ResiliencePolicy
 from repro.workloads import (
     as_aggregate_queries,
     build_dataset,
@@ -207,6 +208,99 @@ def test_sharded_serving_matches_rowstore(config, records, workload, baseline):
         agg_queries, results[len(graph_queries):], expected_agg
     ):
         assert_aggregation_matches(result, expected, query)
+
+
+PROCESS_CONFIGS = list(
+    itertools.product(
+        [2, 4],                        # record-range shards
+        [0, 16],                       # cache budget (MB); 0 = off
+    )
+)
+
+
+def _process_config_id(config):
+    shards, cache_mb = config
+    return f"process-shards{shards}-cache{cache_mb}"
+
+
+@pytest.mark.parametrize(
+    "config", PROCESS_CONFIGS, ids=map(_process_config_id, PROCESS_CONFIGS)
+)
+def test_process_mode_matches_rowstore(config, records, workload, baseline):
+    """Out-of-process shard execution must be invisible: spooled mmap
+    storage, pickled plan fragments, and shared-memory result transport
+    return bit-identical answers to the unsharded reference, cold and
+    through the shard-keyed cache."""
+    shards, cache_mb = config
+    graph_queries, agg_queries = workload
+    expected_graph, expected_agg = baseline
+    engine = GraphAnalyticsEngine(shards=shards)
+    engine.load_records(records)
+    engine.materialize_graph_views(graph_queries[:10], budget=3)
+    engine.materialize_aggregate_views(
+        as_aggregate_queries(graph_queries[:6]), budget=2
+    )
+    cache = BitmapCache(cache_mb << 20) if cache_mb else None
+    with QueryExecutor(
+        engine, jobs=2, cache=cache, exec_mode="process", workers=2
+    ) as executor:
+        results = executor.run_batch(list(graph_queries) + list(agg_queries))
+    for query, result, expected in zip(
+        graph_queries, results[: len(graph_queries)], expected_graph
+    ):
+        assert_graph_result_matches(result, expected, query)
+    for query, result, expected in zip(
+        agg_queries, results[len(graph_queries):], expected_agg
+    ):
+        assert_aggregation_matches(result, expected, query)
+
+
+def test_process_mode_degraded_shard_matches_healthy_oracle(
+    tmp_path_factory, records, workload
+):
+    """``partial_ok`` over a faulted storage shard, process mode: workers
+    attach (manifests are intact) but every bitmap load on the faulted
+    shard fails, the policy gives up, and the answer is bit-exact on all
+    healthy shards with the degraded report covering exactly the faulted
+    shard's record range."""
+    graph_queries, _ = workload
+    engine = GraphAnalyticsEngine(shards=4)
+    engine.load_records(records)
+    engine.use_resilience(
+        ResiliencePolicy(attempts=2, sleep=lambda _s: None)
+    )
+    db = tmp_path_factory.mktemp("procdb") / "db"
+    engine.save(db)
+    shard_dir = next(db.glob("gen-*")) / "shard-001"
+    removed = [path for path in shard_dir.rglob("*.npy")]
+    for path in removed:
+        path.unlink()
+    assert removed, "expected column payloads under the shard directory"
+    starts = engine.relation.shard_starts()
+    start, stop = starts[1], starts[2]
+    skipped_ids = {records[i].record_id for i in range(start, stop)}
+    store = RowStore()
+    store.load_records(records)
+    with QueryExecutor(
+        engine, jobs=2, exec_mode="process", workers=2, storage_dir=db
+    ) as executor:
+        results = executor.run_batch(
+            graph_queries, fetch_measures=False, partial_ok=True
+        )
+    degraded_seen = 0
+    for query, result in zip(graph_queries, results):
+        oracle = store.query(query).record_ids
+        if result.degraded is not None:
+            degraded_seen += 1
+            assert result.degraded.skipped_ranges() == [(start, stop)], query
+            assert result.record_ids == [
+                rid for rid in oracle if rid not in skipped_ids
+            ], query
+        else:
+            # The planner answered without touching the faulted shard
+            # (e.g. an unknown element short-circuits to empty).
+            assert result.record_ids == oracle, query
+    assert degraded_seen > 0
 
 
 def test_sharded_append_then_serve_matches_fresh_rowstore(records, workload):

@@ -1,0 +1,300 @@
+"""Lifecycle tests for the process-parallel shard pool.
+
+Covers the tentpole invariants that the differential suite cannot reach:
+worker crash → respawn with the query surviving via policy retries,
+generation swaps → lazy re-attach with stale-stamped results discarded,
+deadline propagation into the workers, and clean (idempotent) shutdown.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core import GraphAnalyticsEngine, GraphQuery
+from repro.errors import QueryTimeoutError
+from repro.exec import ProcessShardPool, QueryExecutor, StaleGenerationError
+from repro.exec.procpool import resolve_fragment
+from repro.obs import MetricsRegistry
+from repro.resilience import QueryContext
+from repro.columnstore import storage_generation
+from repro.workloads import build_dataset, sample_path_queries
+
+N_RECORDS = 150
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_dataset("NY", n_records=N_RECORDS, seed=21)
+
+
+@pytest.fixture(scope="module")
+def queries(corpus):
+    return sample_path_queries(corpus, n_queries=10, n_edges=3, seed=22)
+
+
+def _fresh_engine(corpus, shards=3):
+    engine = GraphAnalyticsEngine(shards=shards)
+    engine.load_columnar(corpus.record_ids(), corpus.to_columnar())
+    return engine
+
+
+@pytest.fixture(scope="module")
+def oracle_ids(corpus, queries):
+    oracle = GraphAnalyticsEngine()
+    oracle.load_columnar(corpus.record_ids(), corpus.to_columnar())
+    return [oracle.query(q, fetch_measures=False).record_ids for q in queries]
+
+
+def _answers(executor, queries):
+    return [
+        r.record_ids
+        for r in executor.run_batch(queries, fetch_measures=False)
+    ]
+
+
+class TestProcessExecutor:
+    def test_matches_serial_oracle_cold_and_warm(self, corpus, queries, oracle_ids):
+        engine = _fresh_engine(corpus)
+        with QueryExecutor(
+            engine, jobs=1, cache_mb=8, exec_mode="process", workers=2
+        ) as executor:
+            assert _answers(executor, queries) == oracle_ids
+            assert _answers(executor, queries) == oracle_ids  # warm cache
+
+    def test_thread_mode_with_one_job_matches(self, corpus, queries, oracle_ids):
+        engine = _fresh_engine(corpus)
+        with QueryExecutor(
+            engine, jobs=1, exec_mode="thread", workers=2
+        ) as executor:
+            assert executor._shard_pool is not None
+            assert _answers(executor, queries) == oracle_ids
+
+    def test_serial_mode_installs_no_mapper(self, corpus, queries, oracle_ids):
+        engine = _fresh_engine(corpus)
+        with QueryExecutor(engine, jobs=4, exec_mode="serial") as executor:
+            assert executor._shard_pool is None
+            assert _answers(executor, queries) == oracle_ids
+
+    def test_append_resyncs_pool(self, corpus, queries):
+        """Mutations through the executor re-save, re-stamp, and stay
+        visible to the worker processes."""
+        records = list(build_dataset("NY", n_records=40, seed=23).to_records())
+        engine = _fresh_engine(corpus)
+        with QueryExecutor(
+            engine, jobs=1, exec_mode="process", workers=2
+        ) as executor:
+            before = _answers(executor, queries)
+            executor.append_records(records)
+            after = _answers(executor, queries)
+            oracle = GraphAnalyticsEngine()
+            oracle.load_columnar(corpus.record_ids(), corpus.to_columnar())
+            oracle.append_records(records)
+            expected = [
+                oracle.query(q, fetch_measures=False).record_ids for q in queries
+            ]
+            assert after == expected
+            assert all(
+                set(b) <= set(a) for b, a in zip(before, after)
+            )  # appends only add candidates
+
+    def test_worker_crash_respawns_and_query_survives(
+        self, corpus, queries, oracle_ids
+    ):
+        engine = _fresh_engine(corpus)
+        registry = MetricsRegistry()
+        with QueryExecutor(
+            engine,
+            jobs=1,
+            exec_mode="process",
+            workers=2,
+            registry=registry,
+        ) as executor:
+            assert _answers(executor, queries) == oracle_ids  # workers attached
+            pool = executor._proc_pool
+            victims = pool.worker_pids()
+            os.kill(victims[0], signal.SIGKILL)
+            # The resilience policy retries the crashed shard task on the
+            # respawned worker; answers never change.
+            assert _answers(executor, queries) == oracle_ids
+            deadline = time.monotonic() + 10
+            while (
+                registry.counter("pool.worker_respawns").value < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            assert registry.counter("pool.worker_respawns").value >= 1
+            assert pool.worker_pids() != victims
+
+
+class TestGenerationStamps:
+    def _pool_fixture(self, tmp_path, corpus, shards=2, workers=1):
+        engine = _fresh_engine(corpus, shards=shards)
+        db = tmp_path / "db"
+        engine.save(db)
+        pool = ProcessShardPool(
+            db,
+            workers=workers,
+            stamp=(storage_generation(db), engine.epoch),
+        )
+        return engine, db, pool
+
+    def _fragment(self, engine):
+        parts = engine.physical_plan(
+            GraphQuery([next(iter(engine.catalog))])
+        ).parts
+        return resolve_fragment(engine.catalog, parts)
+
+    def test_reattach_after_generation_swap(self, tmp_path, corpus):
+        engine, db, pool = self._pool_fixture(tmp_path, corpus)
+        try:
+            fragment = self._fragment(engine)
+            last = engine.n_shards - 1
+            first = pool.execute(last, fragment)
+            starts = engine.relation.shard_starts()
+            assert first.length == engine.n_records - starts[last]
+            # Commit a new generation with more records (appends extend
+            # the last shard), restamp, and the workers must serve the
+            # new mapping.
+            extra = list(build_dataset("NY", n_records=30, seed=24).to_records())
+            engine.append_records(extra)
+            engine.save(db)
+            pool.set_stamp((storage_generation(db), engine.epoch))
+            grown = pool.execute(last, fragment)
+            assert grown.length == first.length + len(extra)
+        finally:
+            pool.close()
+
+    def test_stamp_ahead_of_disk_is_stale(self, tmp_path, corpus):
+        engine, db, pool = self._pool_fixture(tmp_path, corpus)
+        try:
+            fragment = self._fragment(engine)
+            pool.set_stamp((storage_generation(db) + 7, engine.epoch))
+            with pytest.raises(StaleGenerationError):
+                pool.execute(0, fragment)
+        finally:
+            pool.close()
+
+    def test_stale_stamped_reply_is_discarded(self, tmp_path, corpus):
+        """White-box: a reply carrying a stamp that no longer matches the
+        pool's is never surfaced — execute() discards and re-dispatches."""
+        engine, db, pool = self._pool_fixture(tmp_path, corpus)
+        try:
+            fragment = self._fragment(engine)
+            old_stamp = pool.stamp
+            fut = pool._submit(0, old_stamp, fragment, None)
+            reply = pool._wait(fut, None)
+            assert reply[3] == "ok"
+            pool.set_stamp((old_stamp[0], old_stamp[1] + 1))
+            # The reply's stamp lags the pool now; execute() would loop.
+            assert reply[2] != pool.stamp
+            # Dispose of the payload the way the loop does.
+            from repro.exec.procpool import _unlink_payload
+
+            _unlink_payload(reply[3], reply[4])
+            # A fresh execute under the new stamp still answers (the
+            # generation is unchanged, only the epoch moved).
+            result = pool.execute(0, fragment)
+            assert result.length == engine.relation.shard_starts()[1]
+        finally:
+            pool.close()
+
+    def test_concurrent_stamp_flips_never_corrupt_answers(self, tmp_path, corpus):
+        """Behavioral: epoch flips racing in-flight tasks only ever cause
+        discard + re-dispatch, never a wrong or stale answer."""
+        engine, db, pool = self._pool_fixture(tmp_path, corpus)
+        try:
+            fragment = self._fragment(engine)
+            expected = pool.execute(0, fragment)
+            generation = pool.stamp[0]
+            stop = threading.Event()
+
+            def flip():
+                epoch = 1
+                while not stop.is_set():
+                    epoch += 1
+                    pool.set_stamp((generation, epoch))
+                    time.sleep(0.001)
+
+            flipper = threading.Thread(target=flip)
+            flipper.start()
+            try:
+                for _ in range(20):
+                    assert pool.execute(0, fragment) == expected
+            finally:
+                stop.set()
+                flipper.join()
+        finally:
+            pool.close()
+
+
+class TestDeadlinesAndShutdown:
+    def test_deadline_surfaces_as_timeout(self, tmp_path, corpus):
+        engine = _fresh_engine(corpus, shards=2)
+        db = tmp_path / "db"
+        engine.save(db)
+        pool = ProcessShardPool(
+            db, workers=1, stamp=(storage_generation(db), engine.epoch)
+        )
+        try:
+            parts = engine.physical_plan(
+                GraphQuery([next(iter(engine.catalog))])
+            ).parts
+            fragment = resolve_fragment(engine.catalog, parts)
+            pool.execute(0, fragment)  # attach first so timing is tight
+            # Worker side: a task whose budget is already spent answers
+            # "timeout" before touching the fold.
+            fut = pool._submit(0, pool.stamp, fragment, 1e-9)
+            reply = pool._wait(fut, None)
+            assert reply[3] == "timeout"
+            # End to end: a lapsed deadline surfaces as the same typed
+            # error the in-process path raises.
+            ctx = QueryContext.start(timeout=0.0005)
+            time.sleep(0.002)
+            with pytest.raises(QueryTimeoutError):
+                pool.execute(0, fragment, ctx)
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent_and_joins_workers(self, tmp_path, corpus):
+        engine = _fresh_engine(corpus, shards=2)
+        db = tmp_path / "db"
+        engine.save(db)
+        pool = ProcessShardPool(
+            db, workers=2, stamp=(storage_generation(db), engine.epoch)
+        )
+        pids = pool.worker_pids()
+        pool.close()
+        pool.close()
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)  # ESRCH: process is gone
+
+    def test_submit_after_close_raises(self, tmp_path, corpus):
+        engine = _fresh_engine(corpus, shards=2)
+        db = tmp_path / "db"
+        engine.save(db)
+        pool = ProcessShardPool(
+            db, workers=1, stamp=(storage_generation(db), engine.epoch)
+        )
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.execute(0, (("element", 0),))
+
+    def test_executor_close_removes_hooks_and_tempdir(self, corpus, queries):
+        engine = _fresh_engine(corpus)
+        executor = QueryExecutor(
+            engine, jobs=1, exec_mode="process", workers=2
+        )
+        spool = executor._proc_dir
+        assert spool is not None and spool.exists()
+        executor.run_batch(queries[:2], fetch_measures=False)
+        executor.close()
+        assert engine._shard_compute is None
+        assert not spool.exists()
+        # The engine still answers in-process after the executor is gone.
+        engine.query(queries[0], fetch_measures=False)
