@@ -47,11 +47,9 @@ from .io import QuarantineReport, ingest_records, read_csv_triplets, read_jsonl
 
 __all__ = ["main"]
 
-# Exit codes: 0 ok, 2 usage/data error (argparse convention), then one code
-# per resilience failure class so scripts can branch without parsing stderr.
-EXIT_TIMEOUT = 3
-EXIT_ADMISSION = 4
-EXIT_SHARD = 5
+# Exit codes live in repro.errors (shared with the HTTP daemon's error
+# bodies); re-exported here for existing importers.
+from .errors import EXIT_ADMISSION, EXIT_SHARD, EXIT_TIMEOUT, exit_code_for  # noqa: E402
 
 
 def _load_engine(
@@ -273,6 +271,65 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .obs import MetricsRegistry
+    from .resilience import AdmissionController
+    from .serve import ReproServer, ServeConfig, TenantGate, TenantPolicy
+
+    engine = _load_engine(FsPath(args.database), args)
+    # Admission belongs to the daemon's tenant gate, not the executor —
+    # the gate admits tenant-first so one tenant can't starve the rest.
+    shared = None
+    if args.max_inflight or args.rate:
+        shared = AdmissionController(
+            max_inflight=args.max_inflight,
+            rate=args.rate,
+            max_wait_s=args.max_wait,
+        )
+    policy = TenantPolicy(
+        max_inflight=args.tenant_max_inflight,
+        rate=args.tenant_rate,
+        max_wait_s=args.max_wait,
+    )
+    args.max_inflight = None  # keep _executor_for from double-gating
+    registry = MetricsRegistry()
+    config = ServeConfig(
+        host=args.host, port=args.port, default_timeout_s=args.timeout
+    )
+
+    async def run() -> int:
+        with _executor_for(args, engine) as executor:
+            executor.registry = registry
+            engine.use_metrics(registry)
+            server = ReproServer(
+                executor,
+                registry=registry,
+                gate=TenantGate(shared=shared, policy=policy),
+                config=config,
+            )
+            await server.start()
+            print(
+                f"repro serve: listening on http://{args.host}:{server.port} "
+                f"({engine.n_records} records, {getattr(engine, 'n_shards', 1)} "
+                f"shard(s), exec_mode={executor.exec_mode})"
+            )
+            try:
+                await asyncio.Event().wait()
+            except (KeyboardInterrupt, asyncio.CancelledError):
+                pass
+            finally:
+                print("repro serve: draining...", file=sys.stderr)
+                await server.stop()
+            return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     directory = FsPath(args.database)
     engine = _load_engine(directory)
@@ -324,14 +381,7 @@ def _describe_error(exc: Exception) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
-def _exit_code_for(exc: Exception) -> int:
-    if isinstance(exc, QueryTimeoutError):
-        return EXIT_TIMEOUT
-    if isinstance(exc, AdmissionRejectedError):
-        return EXIT_ADMISSION
-    if isinstance(exc, ShardExecutionError):
-        return EXIT_SHARD
-    return 2
+_exit_code_for = exit_code_for
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -480,6 +530,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_serving_flags(p_metrics)
     p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP daemon over a database directory"
+    )
+    p_serve.add_argument("database")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8750,
+        help="listen port (0 = pick an ephemeral port; default 8750)",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=None, metavar="QPS",
+        help="shared token-bucket admission rate (default unlimited)",
+    )
+    p_serve.add_argument(
+        "--max-wait", type=float, default=0.0, metavar="SECONDS",
+        help="bounded admission wait before rejecting (default 0)",
+    )
+    p_serve.add_argument(
+        "--tenant-max-inflight", type=int, default=None, metavar="N",
+        help="per-tenant concurrent-query cap (default unlimited)",
+    )
+    p_serve.add_argument(
+        "--tenant-rate", type=float, default=None, metavar="QPS",
+        help="per-tenant token-bucket rate (default unlimited)",
+    )
+    add_serving_flags(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_stats = sub.add_parser("stats", help="show a database's shape and size")
     p_stats.add_argument("database")

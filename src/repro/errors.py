@@ -57,7 +57,36 @@ __all__ = [
     "AdmissionRejectedError",
     "ShardExecutionError",
     "CircuitOpenError",
+    "EXIT_ERROR",
+    "EXIT_TIMEOUT",
+    "EXIT_ADMISSION",
+    "EXIT_SHARD",
+    "exit_code_for",
 ]
+
+# Exit codes: 0 ok, 2 usage/data error (argparse convention), then one code
+# per resilience failure class so scripts can branch without parsing stderr.
+# Shared by the CLI and the HTTP daemon (error bodies carry ``exit_code``),
+# so the two surfaces stay in lockstep.
+EXIT_ERROR = 2
+EXIT_TIMEOUT = 3
+EXIT_ADMISSION = 4
+EXIT_SHARD = 5
+
+
+def exit_code_for(exc: Exception) -> int:
+    """The process exit code for a failure, per the table above.
+
+    Cancellation shares the timeout code: both mean "the deadline/caller
+    cut this query short", and clients retry them identically.
+    """
+    if isinstance(exc, (QueryTimeoutError, QueryCancelledError)):
+        return EXIT_TIMEOUT
+    if isinstance(exc, AdmissionRejectedError):
+        return EXIT_ADMISSION
+    if isinstance(exc, ShardExecutionError):
+        return EXIT_SHARD
+    return EXIT_ERROR
 
 
 class ReproError(Exception):

@@ -583,6 +583,16 @@ class QueryExecutor:
 
     # -- write side ----------------------------------------------------------
 
+    def explain(
+        self, query: AnyQuery, analyze: bool = False, fmt: str = "text"
+    ) -> str:
+        """EXPLAIN under the shared read lock, so ``analyze=True`` (which
+        executes the query) can never observe a half-applied write."""
+        with self._rw.read():
+            text = self.engine.explain(query, analyze=analyze, fmt=fmt)
+        self._count("exec.explains")
+        return text
+
     def append_records(self, records: Iterable[GraphRecord]) -> int:
         """Exclusive append with incremental view maintenance; readers in
         flight finish first, and the epoch bump invalidates the cache."""

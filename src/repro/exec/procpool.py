@@ -29,6 +29,13 @@ engine's :class:`~repro.resilience.ResiliencePolicy` retries it exactly
 like a thread-mode shard fault.  A worker that misses the query deadline
 answers ``"timeout"``, surfaced as the same
 :class:`~repro.errors.QueryTimeoutError` the in-process path raises.
+
+When a waiter *abandons* a task — the serving layer's client
+disconnected, or the deadline lapsed parent-side first — the parent
+sends a best-effort ``("cancel", task_id)`` note down the worker's pipe.
+The worker checks for notes between fold parts and answers such tasks
+``"cancelled"`` without (further) work, so one dead query never
+head-of-line blocks the next request through the same worker.
 """
 
 from __future__ import annotations
@@ -141,42 +148,101 @@ def _ship_result(result: Bitmap) -> tuple:
         block.close()
 
 
+# During a fold, the worker polls its pipe for ``("cancel", task_id)``
+# notes every this-many parts.  A poll is one non-blocking syscall, so
+# the check costs well under a part's fold time at this stride while an
+# abandoned query still stops within a few hundred microseconds.
+_CANCEL_CHECK_EVERY = 128
+
+
 def _worker_main(worker_id, storage_dir, conn):
     """Worker loop: attach lazily, fold fragments, ship bitmaps back.
 
     Transport is one duplex pipe per worker (no queues): a pipe has no
     cross-process lock to poison, so a SIGKILL'd worker never wedges its
     replacement — the parent just opens a fresh pipe for the respawn.
+
+    Besides task tuples the pipe carries ``("cancel", task_id)`` notes:
+    when a waiter abandons a task (client disconnect, lapsed deadline)
+    the parent tells the worker, which stops folding dead work instead of
+    head-of-line blocking the next query behind it.  Cancellation is
+    best-effort — a note that loses the race with the reply is pruned and
+    ignored — and every cancelled task still gets exactly one reply
+    (status ``"cancelled"``), keeping the pipe's task/reply accounting
+    intact.
     """
     storage_dir = Path(storage_dir)
     attachment = None
+    pending = []  # tasks buffered while draining mid-fold
+    cancelled = set()  # task ids cancelled before their reply was sent
+    done_hwm = -1  # highest task id already replied to (prunes stale notes)
+    shutdown = False
+
+    def drain(block):
+        """Pull everything readable: cancels into the set, tasks into
+        ``pending``.  Blocks for at most one message when ``block``."""
+        nonlocal shutdown
+        while True:
+            if not block and not conn.poll(0):
+                return
+            block = False
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                shutdown = True
+                return
+            if msg is None:
+                shutdown = True
+                return
+            if msg[0] == "cancel":
+                if msg[1] > done_hwm:
+                    cancelled.add(msg[1])
+            else:
+                pending.append(msg)
+
     while True:
-        try:
-            msg = conn.recv()
-        except (EOFError, OSError):
-            break  # parent went away
-        if msg is None:
-            break
+        if not pending:
+            if shutdown:
+                break
+            drain(block=True)
+            continue
+        msg = pending.pop(0)
         task_id, shard, stamp, fragment, budget = msg
         deadline = None if budget is None else time.monotonic() + budget
         try:
+            if task_id in cancelled:
+                cancelled.discard(task_id)
+                done_hwm = max(done_hwm, task_id)
+                conn.send((task_id, worker_id, stamp, "cancelled", None))
+                continue
             generation = stamp[0]
             if attachment is None or attachment.generation != generation:
                 if storage_generation(storage_dir) != generation:
+                    done_hwm = max(done_hwm, task_id)
                     conn.send((task_id, worker_id, stamp, "stale", None))
                     continue
                 attachment = BitmapAttachment(storage_dir)
             reader = attachment.readers[shard]
             result = None
-            timed_out = False
-            for kind, token in fragment:
+            timed_out = was_cancelled = False
+            for i, (kind, token) in enumerate(fragment):
                 if deadline is not None and time.monotonic() >= deadline:
                     timed_out = True
                     break
+                if i % _CANCEL_CHECK_EVERY == 0 and i:
+                    drain(block=False)
+                    if task_id in cancelled:
+                        was_cancelled = True
+                        break
                 part = _fragment_bitmap(reader, kind, token)
                 result = part if result is None else result & part
                 if not result.any():
                     break  # short-circuit: AND can only stay empty
+            done_hwm = max(done_hwm, task_id)
+            if was_cancelled:
+                cancelled.discard(task_id)
+                conn.send((task_id, worker_id, stamp, "cancelled", None))
+                continue
             if timed_out:
                 conn.send((task_id, worker_id, stamp, "timeout", budget))
                 continue
@@ -187,6 +253,7 @@ def _worker_main(worker_id, storage_dir, conn):
             # A failed attach may be a half-committed swap; drop the
             # mapping so the next task re-probes the manifest.
             attachment = None
+            done_hwm = max(done_hwm, task_id)
             detail = f"{type(exc).__name__}: {exc}"
             try:
                 conn.send((task_id, worker_id, stamp, "error", detail))
@@ -205,13 +272,15 @@ class _Future:
     which case the *collector* owns cleanup of any shared-memory payload.
     """
 
-    __slots__ = ("_event", "_lock", "reply", "_abandoned")
+    __slots__ = ("_event", "_lock", "reply", "_abandoned", "task_id", "worker_id")
 
-    def __init__(self):
+    def __init__(self, task_id=None, worker_id=None):
         self._event = threading.Event()
         self._lock = threading.Lock()
         self.reply = None
         self._abandoned = False
+        self.task_id = task_id
+        self.worker_id = worker_id
 
     def resolve(self, reply) -> bool:
         """Deliver the reply; False means the waiter already walked away
@@ -451,8 +520,8 @@ class ProcessShardPool:
 
     def _submit(self, shard: int, stamp, fragment, budget) -> _Future:
         worker_id = shard % self._n_workers
-        fut = _Future()
         task_id = next(self._task_counter)
+        fut = _Future(task_id, worker_id)
         with self._lock:
             if self._closing:
                 raise RuntimeError("process pool is closed")
@@ -479,6 +548,19 @@ class ProcessShardPool:
             self._registry.counter("pool.tasks").inc()
         return fut
 
+    def _cancel_task(self, fut: _Future) -> None:
+        """Best-effort note to the worker that the waiter walked away, so
+        it stops folding (or never starts) the abandoned task instead of
+        blocking the next query behind dead work.  Failure is fine — the
+        collector disposes of whatever reply eventually arrives."""
+        try:
+            with self._conn_locks[fut.worker_id]:
+                self._conns[fut.worker_id].send(("cancel", fut.task_id))
+        except Exception:
+            return
+        if self._registry is not None:
+            self._registry.counter("pool.tasks_cancelled").inc()
+
     def _wait(self, fut: _Future, ctx) -> tuple:
         """Block on a future, keeping the query's deadline/cancel checks
         cooperative parent-side; abandoning on a raise."""
@@ -495,6 +577,8 @@ class ProcessShardPool:
             reply = fut.abandon()
             if reply is not None:
                 _unlink_payload(reply[3], reply[4])
+            else:
+                self._cancel_task(fut)
             raise
         return fut.reply
 
@@ -554,6 +638,11 @@ class ProcessShardPool:
                         f"but the pool stamp is {self._stamp[0]}"
                     )
                 time.sleep(_POLL)
+                continue
+            if status == "cancelled":
+                # Only abandoned tasks are cancelled, so this reply should
+                # never reach a live waiter; if a stray one does, redo the
+                # work (the loop-top ctx.check bounds the retry).
                 continue
             if status == "timeout":
                 raise QueryTimeoutError(

@@ -1,0 +1,46 @@
+"""``repro.serve`` — the network front-end over the query executor.
+
+The engine stays a library; this package puts a daemon in front of it:
+
+* :mod:`.protocol` — hand-rolled HTTP/1.1 over asyncio streams with hard
+  request limits and chunked NDJSON streaming (stdlib only);
+* :mod:`.codec` — the JSON wire format, bit-exact for floats and node
+  labels, with stable machine-readable error codes;
+* :mod:`.tenants` — per-tenant + shared admission gates;
+* :mod:`.server` — routes, lifecycle, the asyncio↔engine bridge, and
+  ``serve.*`` metrics;
+* :mod:`.client` — the minimal blocking client the over-the-wire
+  differential suite and benchmarks drive the daemon with.
+
+Start one with ``repro serve DIRECTORY`` or, in-process::
+
+    from repro.serve import ServeClient, start_in_thread
+    handle = start_in_thread(executor)
+    with ServeClient(*handle.address) as client:
+        result = client.query({"q": "(a - b)"})
+    handle.stop()
+"""
+
+from .client import ServeClient, ServeHTTPError, StreamTruncatedError
+from .codec import WireAggregationResult, WireError, WireGraphResult
+from .protocol import Limits, ProtocolError
+from .server import ReproServer, ServeConfig, ServerHandle, start_in_thread
+from .tenants import BadTenantError, TenantGate, TenantPolicy
+
+__all__ = [
+    "ReproServer",
+    "ServeConfig",
+    "ServerHandle",
+    "start_in_thread",
+    "ServeClient",
+    "ServeHTTPError",
+    "StreamTruncatedError",
+    "TenantGate",
+    "TenantPolicy",
+    "BadTenantError",
+    "Limits",
+    "ProtocolError",
+    "WireError",
+    "WireGraphResult",
+    "WireAggregationResult",
+]

@@ -16,11 +16,11 @@ import time
 import pytest
 
 from repro.core import GraphAnalyticsEngine, GraphQuery
-from repro.errors import QueryTimeoutError
+from repro.errors import QueryCancelledError, QueryTimeoutError
 from repro.exec import ProcessShardPool, QueryExecutor, StaleGenerationError
 from repro.exec.procpool import resolve_fragment
 from repro.obs import MetricsRegistry
-from repro.resilience import QueryContext
+from repro.resilience import CancelToken, QueryContext
 from repro.columnstore import storage_generation
 from repro.workloads import build_dataset, sample_path_queries
 
@@ -41,6 +41,35 @@ def _fresh_engine(corpus, shards=3):
     engine = GraphAnalyticsEngine(shards=shards)
     engine.load_columnar(corpus.record_ids(), corpus.to_columnar())
     return engine
+
+
+def _nonempty_fragment(engine, corpus):
+    """A one-part fragment matching record 0, so repeating it builds an
+    arbitrarily slow worker fold that never short-circuits on empty."""
+    edge = next(iter(next(iter(corpus.to_records())).measures()))
+    parts = engine.physical_plan(GraphQuery([edge])).parts
+    return resolve_fragment(engine.catalog, parts)
+
+
+def _shm_snapshot():
+    return frozenset(
+        os.listdir("/dev/shm") if os.path.isdir("/dev/shm") else []
+    )
+
+
+def _assert_drained(pool, baseline=frozenset(), timeout=5.0):
+    """Every late/abandoned reply was consumed: no in-flight futures and
+    no shared-memory payloads beyond the pre-test baseline."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with pool._lock:
+            left = len(pool._futures)
+        leaked = sorted(_shm_snapshot() - baseline)
+        if left == 0 and not leaked:
+            return
+        time.sleep(0.02)
+    assert left == 0, f"{left} futures never drained"
+    assert not leaked, f"leaked shared-memory blocks: {leaked}"
 
 
 @pytest.fixture(scope="module")
@@ -257,6 +286,85 @@ class TestDeadlinesAndShutdown:
             time.sleep(0.002)
             with pytest.raises(QueryTimeoutError):
                 pool.execute(0, fragment, ctx)
+        finally:
+            pool.close()
+
+    def test_back_to_back_deadline_expiries_reuse_worker(self, tmp_path, corpus):
+        """Regression: two consecutive deadline expiries through the SAME
+        worker must leave its pipe healthy — the worker answers each
+        abandoned/timed-out task exactly once, the collector disposes of
+        the late replies, and the next normal query gets *its own* answer
+        (not a stale reply), bit-exact and promptly."""
+        engine = _fresh_engine(corpus, shards=2)
+        db = tmp_path / "db"
+        engine.save(db)
+        pool = ProcessShardPool(
+            db, workers=1, stamp=(storage_generation(db), engine.epoch)
+        )
+        try:
+            fragment = _nonempty_fragment(engine, corpus)
+            expected = pool.execute(0, fragment)  # attach + oracle
+            baseline = _shm_snapshot()
+            slow = fragment * 200_000  # ~1s of AND folds in the worker
+            for _ in range(2):
+                ctx = QueryContext.start(timeout=0.1)
+                with pytest.raises(QueryTimeoutError):
+                    pool.execute(0, slow, ctx)
+            start = time.monotonic()
+            assert pool.execute(0, fragment) == expected
+            # The worker stopped burning on the dead folds: had either
+            # abandoned task kept folding, the answer would have queued
+            # behind ~1s of dead work.
+            assert time.monotonic() - start < 0.75
+            _assert_drained(pool, baseline)
+        finally:
+            pool.close()
+
+    def test_disconnect_abandon_stops_dead_fold_promptly(self, tmp_path, corpus):
+        """Regression (serving path): a client disconnect abandons the
+        task with NO deadline — without cancel propagation the worker
+        would fold the dead task to completion (~5s here) and head-of-line
+        block the next request through the same pipe."""
+        engine = _fresh_engine(corpus, shards=2)
+        db = tmp_path / "db"
+        engine.save(db)
+        registry = MetricsRegistry()
+        pool = ProcessShardPool(
+            db,
+            workers=1,
+            stamp=(storage_generation(db), engine.epoch),
+            registry=registry,
+        )
+        try:
+            fragment = _nonempty_fragment(engine, corpus)
+            expected = pool.execute(0, fragment)
+            baseline = _shm_snapshot()
+            dead = fragment * 1_000_000  # ~5s fold if never cancelled
+            token = CancelToken()
+            ctx = QueryContext.start(token=token)
+            failures: list = []
+
+            def doomed():
+                try:
+                    pool.execute(0, dead, ctx)
+                    failures.append("cancelled query returned normally")
+                except QueryCancelledError:
+                    pass
+                except Exception as exc:
+                    failures.append(exc)
+
+            waiter = threading.Thread(target=doomed)
+            waiter.start()
+            time.sleep(0.2)  # the worker is mid-fold now
+            token.cancel()  # the "client" vanished
+            waiter.join(timeout=5)
+            assert not waiter.is_alive()
+            assert not failures, failures[0]
+            start = time.monotonic()
+            assert pool.execute(0, fragment) == expected
+            assert time.monotonic() - start < 2.0  # not behind ~5s of dead work
+            assert registry.counter("pool.tasks_cancelled").value >= 1
+            _assert_drained(pool, baseline)
         finally:
             pool.close()
 

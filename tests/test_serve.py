@@ -1,0 +1,376 @@
+"""Daemon concurrency and lifecycle: the behaviors only a live server has.
+
+The differential suite proves the daemon doesn't change answers and the
+fuzz suite proves it survives garbage; this one covers the moving parts:
+many clients against a concurrent writer (epoch bumps mid-workload),
+client disconnect firing the engine-side cancel token, deadline expiry
+*after* the 200 is committed (mid-stream truncation with an error line),
+graceful shutdown draining inflight queries, and one tenant's admission
+exhaustion leaving another tenant's throughput untouched.
+
+Engine work is made observably slow/cancellable with thin executor
+wrappers (``__getattr__`` delegation), so every timing-sensitive case is
+driven deterministically rather than by racing real query latencies.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import GraphAnalyticsEngine, GraphRecord
+from repro.errors import QueryCancelledError
+from repro.exec import QueryExecutor
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    ServeClient,
+    ServeHTTPError,
+    StreamTruncatedError,
+    start_in_thread,
+)
+from repro.serve.server import ServeConfig
+from repro.serve.tenants import TenantGate, TenantPolicy
+
+N_RECORDS = 60
+
+
+def make_records(n=N_RECORDS, offset=0):
+    return [
+        GraphRecord(
+            f"r{offset + i:04d}",
+            {("a", "b"): float(offset + i), ("b", "c"): 2.0, ("c", "d"): 0.5},
+        )
+        for i in range(n)
+    ]
+
+
+def make_executor(jobs=2, cache_mb=4, n=N_RECORDS):
+    engine = GraphAnalyticsEngine()
+    engine.load_records(make_records(n))
+    registry = MetricsRegistry()
+    return QueryExecutor(
+        engine, jobs=jobs, cache_mb=cache_mb, registry=registry
+    )
+
+
+class _Wrapper:
+    """Delegating executor wrapper; subclasses override run_one."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class SlowExecutor(_Wrapper):
+    """Cooperatively-cancellable slow queries: spins until ``delay`` has
+    passed, checking the context (like a long shard fold would)."""
+
+    def __init__(self, inner, delay=0.3):
+        super().__init__(inner)
+        self.delay = delay
+        self.cancelled = threading.Event()
+        self.started = threading.Event()
+
+    def run_one(self, query, fetch_measures=True, ctx=None, **kw):
+        self.started.set()
+        end = time.monotonic() + self.delay
+        try:
+            while time.monotonic() < end:
+                if ctx is not None:
+                    ctx.check()
+                time.sleep(0.01)
+        except QueryCancelledError:
+            self.cancelled.set()
+            raise
+        return self._inner.run_one(
+            query, fetch_measures=fetch_measures, ctx=ctx, **kw
+        )
+
+
+class OutlastDeadline(_Wrapper):
+    """Computes the full answer, then stalls past the query's deadline —
+    so the timeout can only surface *mid-stream*."""
+
+    def run_one(self, query, fetch_measures=True, ctx=None, **kw):
+        result = self._inner.run_one(
+            query, fetch_measures=fetch_measures, ctx=None, **kw
+        )
+        if ctx is not None and ctx.deadline is not None:
+            time.sleep(max(ctx.deadline.remaining(), 0.0) + 0.05)
+        return result
+
+
+class TestConcurrentClientsAndWriter:
+    def test_multi_client_stress_with_concurrent_writer(self):
+        """8 reader threads × queries against a writer appending batches:
+        every answer must be internally consistent — the row count of the
+        epoch it was served at — and epochs must be monotone per client."""
+        executor = make_executor(jobs=4, cache_mb=8)
+        handle = start_in_thread(executor)
+        counts_by_epoch = {executor.epoch: N_RECORDS}
+        failures: list = []
+        stop = threading.Event()
+
+        def writer():
+            with ServeClient(*handle.address) as client:
+                for batch in range(4):
+                    records = make_records(10, offset=1000 + batch * 10)
+                    reply = client.append(
+                        [
+                            {
+                                "id": r.record_id,
+                                "measures": [
+                                    [u, v, val]
+                                    for (u, v), val in r.measures().items()
+                                ],
+                            }
+                            for r in records
+                        ]
+                    )
+                    counts_by_epoch[reply["epoch"]] = (
+                        N_RECORDS + (batch + 1) * 10
+                    )
+                    time.sleep(0.02)
+            stop.set()
+
+        def reader():
+            try:
+                with ServeClient(*handle.address) as client:
+                    last_epoch = -1
+                    while not stop.is_set():
+                        result = client.query({"q": "a -> b"})
+                        assert result.epoch >= last_epoch, "epoch went backwards"
+                        last_epoch = result.epoch
+                        expected = counts_by_epoch.get(result.epoch)
+                        if expected is not None:
+                            assert len(result.record_ids) == expected, (
+                                f"epoch {result.epoch}: "
+                                f"{len(result.record_ids)} != {expected}"
+                            )
+            except Exception as exc:  # surfaced below
+                failures.append(exc)
+
+        try:
+            readers = [threading.Thread(target=reader) for _ in range(8)]
+            w = threading.Thread(target=writer)
+            for t in readers:
+                t.start()
+            w.start()
+            w.join(timeout=30)
+            stop.set()
+            for t in readers:
+                t.join(timeout=30)
+            assert not failures, failures[0]
+            with ServeClient(*handle.address) as client:
+                final = client.query({"q": "a -> b"})
+                assert len(final.record_ids) == N_RECORDS + 40
+        finally:
+            handle.stop()
+            executor.close()
+
+
+class TestCancellation:
+    def test_client_disconnect_cancels_engine_work(self):
+        """Dropping the socket mid-query fires the CancelToken: the engine
+        stops (the wrapper observes QueryCancelledError) instead of
+        finishing work nobody will read."""
+        executor = make_executor()
+        slow = SlowExecutor(executor, delay=10.0)  # would block 10s if leaked
+        handle = start_in_thread(slow)
+        try:
+            body = b'{"q": "a -> b"}'
+            head = (
+                f"POST /query HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode()
+            sock = socket.create_connection(handle.address, timeout=5)
+            sock.sendall(head + body)
+            assert slow.started.wait(timeout=5), "query never reached engine"
+            sock.close()  # vanish mid-query
+            assert slow.cancelled.wait(timeout=5), (
+                "disconnect did not cancel the engine-side query"
+            )
+            # Daemon is still healthy for the next client.
+            with ServeClient(*handle.address) as client:
+                assert client.healthz()["status"] == "ok"
+        finally:
+            handle.stop()
+            executor.close()
+
+    def test_deadline_expiry_mid_stream_truncates_with_error_line(self):
+        """Once the 200 is on the wire the daemon can't change the status;
+        an expired deadline mid-stream must end the NDJSON with a
+        structured error line and close the connection."""
+        executor = make_executor()
+        wrapped = OutlastDeadline(executor)
+        config = ServeConfig(stream_check_every=1)
+        handle = start_in_thread(wrapped, config=config)
+        try:
+            with ServeClient(*handle.address) as client:
+                with pytest.raises(StreamTruncatedError) as err:
+                    client.query({"q": "a -> b", "timeout_ms": 150})
+            assert err.value.error["code"] == "timeout"
+            assert err.value.error["exit_code"] == 3
+            # Header line decoded fine; fewer rows than promised arrived.
+            assert len(err.value.lines) >= 1
+            import json
+
+            header = json.loads(err.value.lines[0])
+            assert header["count"] == N_RECORDS
+            assert len(err.value.lines) - 1 < header["count"]
+            with ServeClient(*handle.address) as client:
+                assert client.healthz()["status"] == "ok"
+        finally:
+            handle.stop()
+            executor.close()
+
+    def test_deadline_before_execution_is_clean_504(self):
+        executor = make_executor()
+        slow = SlowExecutor(executor, delay=5.0)
+        handle = start_in_thread(slow)
+        try:
+            with ServeClient(*handle.address) as client:
+                with pytest.raises(ServeHTTPError) as err:
+                    client.query({"q": "a -> b", "timeout_ms": 50})
+                assert err.value.status == 504
+                assert err.value.code == "timeout"
+                assert err.value.exit_code == 3
+        finally:
+            handle.stop()
+            executor.close()
+
+
+class TestGracefulShutdown:
+    def test_stop_drains_inflight_queries(self):
+        """stop() must let a query already executing finish and deliver
+        its complete response before the listener dies."""
+        executor = make_executor()
+        slow = SlowExecutor(executor, delay=0.4)
+        handle = start_in_thread(slow)
+        results: list = []
+        failures: list = []
+
+        def run_query():
+            try:
+                with ServeClient(*handle.address) as client:
+                    results.append(client.query({"q": "a -> b"}))
+            except Exception as exc:
+                failures.append(exc)
+
+        t = threading.Thread(target=run_query)
+        t.start()
+        assert slow.started.wait(timeout=5)
+        handle.stop(drain_s=10)  # returns only when drained
+        t.join(timeout=10)
+        executor.close()
+        assert not failures, failures[0]
+        assert len(results) == 1
+        assert len(results[0].record_ids) == N_RECORDS
+
+    def test_new_connections_refused_after_stop(self):
+        executor = make_executor()
+        handle = start_in_thread(executor)
+        address = handle.address
+        handle.stop()
+        executor.close()
+        with pytest.raises(OSError):
+            socket.create_connection(address, timeout=1).close()
+
+
+class TestTenantIsolation:
+    def test_tenant_exhaustion_does_not_starve_other_tenant(self):
+        """Tenant A saturates its per-tenant inflight budget (collecting
+        429s); tenant B, under the same daemon, sees zero rejections."""
+        executor = make_executor(jobs=4)
+        slow = SlowExecutor(executor, delay=0.25)
+        gate = TenantGate(policy=TenantPolicy(max_inflight=2, max_wait_s=0.0))
+        # Wide engine bridge so tenant A's queries occupy admission slots,
+        # not all the worker threads.
+        config = ServeConfig(engine_threads=12)
+        handle = start_in_thread(slow, gate=gate, config=config)
+        a_ok, a_rejected, b_ok, b_rejected = [], [], [], []
+        failures: list = []
+
+        def tenant_a(idx):
+            try:
+                with ServeClient(*handle.address) as client:
+                    try:
+                        client.query({"q": "a -> b", "tenant": "tenant-a"})
+                        a_ok.append(idx)
+                    except ServeHTTPError as err:
+                        assert err.status == 429, err
+                        assert err.code == "admission-rejected"
+                        assert err.exit_code == 4
+                        a_rejected.append(idx)
+            except Exception as exc:
+                failures.append(exc)
+
+        def tenant_b():
+            try:
+                with ServeClient(*handle.address) as client:
+                    for _ in range(3):
+                        try:
+                            client.query({"q": "a -> b", "tenant": "tenant-b"})
+                            b_ok.append(1)
+                        except ServeHTTPError:
+                            b_rejected.append(1)
+            except Exception as exc:
+                failures.append(exc)
+
+        try:
+            storm = [
+                threading.Thread(target=tenant_a, args=(i,)) for i in range(6)
+            ]
+            quiet = threading.Thread(target=tenant_b)
+            for t in storm:
+                t.start()
+            quiet.start()
+            for t in storm:
+                t.join(timeout=30)
+            quiet.join(timeout=30)
+            assert not failures, failures[0]
+            assert a_rejected, "tenant A never hit its admission limit"
+            assert a_ok, "tenant A should still get some queries through"
+            assert b_ok and not b_rejected, (
+                f"tenant B was starved: ok={len(b_ok)} "
+                f"rejected={len(b_rejected)}"
+            )
+            # The admission slot is released after the last response byte
+            # is written, so the client can observe its answer a tick
+            # before the server closes the permit — poll briefly.
+            deadline = time.monotonic() + 5.0
+            while gate.inflight() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert gate.inflight() == 0
+        finally:
+            handle.stop()
+            executor.close()
+
+    def test_rejected_tenant_gets_retry_after_header(self):
+        executor = make_executor()
+        slow = SlowExecutor(executor, delay=0.5)
+        gate = TenantGate(policy=TenantPolicy(max_inflight=1, max_wait_s=0.0))
+        handle = start_in_thread(slow, gate=gate)
+        try:
+            blocker = threading.Thread(
+                target=lambda: ServeClient(*handle.address).query(
+                    {"q": "a -> b", "tenant": "t1"}
+                )
+            )
+            blocker.start()
+            assert slow.started.wait(timeout=5)
+            with ServeClient(*handle.address) as client:
+                response = client.request(
+                    "POST", "/query", {"q": "a -> b", "tenant": "t1"}
+                )
+                assert response.status == 429
+                assert "retry-after" in response.headers
+            blocker.join(timeout=10)
+        finally:
+            handle.stop()
+            executor.close()
