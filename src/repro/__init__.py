@@ -40,6 +40,7 @@ from .core import (
 )
 from .columnstore import Bitmap, IOStats, MasterRelation
 from .exec import BitmapCache, CacheStats, QueryExecutor
+from .adaptive import ViewMaintainer, WorkloadWindow
 from .advisor import AdaptiveViewAdvisor
 from .dsl import QuerySyntaxError, parse_aggregation, parse_query
 from .errors import (
@@ -83,6 +84,8 @@ __all__ = [
     "AndNot",
     "AdaptiveViewAdvisor",
     "Bitmap",
+    "ViewMaintainer",
+    "WorkloadWindow",
     "BitmapCache",
     "CacheStats",
     "QueryExecutor",

@@ -1,0 +1,23 @@
+"""Continuous workload-adaptive view maintenance.
+
+The paper's advisor (§5.2) selects views for a *fixed* workload; this
+package closes the loop against live traffic.  A
+:class:`WorkloadWindow` attached to a :class:`~repro.exec.QueryExecutor`
+captures every served query together with the views its plan actually
+used; a background :class:`ViewMaintainer` periodically re-runs candidate
+generation + greedy set cover over that window, materializes winning
+views incrementally (append-delta over the staged bitmap, built
+off-epoch under the read lock), drops views whose measured hit rate
+decays below a floor, and commits the whole swap atomically so readers
+never block and never observe a half-applied view set.
+"""
+
+from .maintainer import MaintenanceReport, ViewMaintainer
+from .window import WindowEntry, WorkloadWindow
+
+__all__ = [
+    "MaintenanceReport",
+    "ViewMaintainer",
+    "WindowEntry",
+    "WorkloadWindow",
+]

@@ -1,0 +1,69 @@
+"""Sliding window over the live query stream.
+
+The executor records every served structural query here (via
+:meth:`repro.exec.QueryExecutor.attach_window`), together with the names
+of the materialized views its plan used.  The maintainer snapshots the
+window to get (a) the observed workload for candidate generation and
+(b) per-view hit rates for decay-based dropping.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.query import GraphQuery
+
+__all__ = ["WindowEntry", "WorkloadWindow"]
+
+
+@dataclass(frozen=True)
+class WindowEntry:
+    """One served query and the views its plan consulted."""
+
+    query: GraphQuery
+    views_used: tuple[str, ...] = field(default=())
+
+
+class WorkloadWindow:
+    """Thread-safe bounded window of recently served queries.
+
+    ``size`` bounds how much history shapes the next maintenance round: a
+    small window adapts fast but thrashes on noise, a large one smooths
+    drift.  Recording is a deque append under a lock — cheap enough for
+    the per-query hot path.
+    """
+
+    def __init__(self, size: int = 512):
+        if size < 1:
+            raise ValueError("window size must be >= 1")
+        self.size = size
+        self._entries: deque[WindowEntry] = deque(maxlen=size)
+        self._lock = threading.Lock()
+        self._observed = 0
+
+    def record(self, query: GraphQuery, views_used: tuple[str, ...] = ()) -> None:
+        entry = WindowEntry(query, tuple(views_used))
+        with self._lock:
+            self._entries.append(entry)
+            self._observed += 1
+
+    def snapshot(self) -> list[WindowEntry]:
+        """A consistent copy of the current window contents."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def observed(self) -> int:
+        """Total queries ever recorded (not capped by the window size)."""
+        with self._lock:
+            return self._observed

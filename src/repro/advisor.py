@@ -113,18 +113,9 @@ class AdaptiveViewAdvisor:
             else:
                 dropped.append(name)
 
-        # The engine has no per-view drop; rebuild its managed subset.
+        # Per-view drop: survivors and unmanaged views stay materialized.
         if dropped:
-            unmanaged = {
-                name: view
-                for name, view in self.engine.graph_views.items()
-                if name not in self._managed
-            }
-            self.engine.drop_all_views()
-            for name, view in unmanaged.items():
-                self.engine.add_graph_view(view.elements, name=name)
-            for name, elems in survivors.items():
-                self.engine.add_graph_view(elems, name=name)
+            self.engine.drop_decayed(dropped)
 
         added: list[str] = []
         survivor_sets = set(survivors.values())

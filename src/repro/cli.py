@@ -11,6 +11,9 @@ Commands:
 * ``explain`` — show the rewrite plan a query would use without running it
   (``--analyze`` also executes it and attaches measured counters + trace);
 * ``metrics`` — serve a workload and dump the metrics registry;
+* ``serve`` — run the HTTP daemon (``--adaptive`` adds the background
+  view maintainer tracking the observed workload);
+* ``views`` — list a persisted relation's materialized views;
 * ``stats`` — show a persisted relation's shape and footprint;
 * ``demo`` — build a small synthetic corpus and run a sample session.
 
@@ -303,17 +306,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         with _executor_for(args, engine) as executor:
             executor.registry = registry
             engine.use_metrics(registry)
+            maintainer = None
+            if args.adaptive:
+                from .adaptive import ViewMaintainer, WorkloadWindow
+
+                maintainer = ViewMaintainer(
+                    executor,
+                    window=WorkloadWindow(args.adaptive_window),
+                    budget=args.adaptive_budget,
+                    interval_s=args.adaptive_interval,
+                    min_support=args.adaptive_min_support,
+                    hit_rate_floor=args.adaptive_floor,
+                    registry=registry,
+                )
             server = ReproServer(
                 executor,
                 registry=registry,
                 gate=TenantGate(shared=shared, policy=policy),
                 config=config,
+                maintainer=maintainer,
             )
             await server.start()
+            adaptive_note = (
+                f", adaptive views every {args.adaptive_interval:g}s"
+                if maintainer is not None
+                else ""
+            )
             print(
                 f"repro serve: listening on http://{args.host}:{server.port} "
                 f"({engine.n_records} records, {getattr(engine, 'n_shards', 1)} "
-                f"shard(s), exec_mode={executor.exec_mode})"
+                f"shard(s), exec_mode={executor.exec_mode}{adaptive_note})"
             )
             try:
                 await asyncio.Event().wait()
@@ -328,6 +350,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return asyncio.run(run())
     except KeyboardInterrupt:
         return 0
+
+
+def _cmd_views(args: argparse.Namespace) -> int:
+    import json
+
+    engine = _load_engine(FsPath(args.database))
+
+    def edge_str(edge) -> str:
+        return "-".join(str(node) for node in edge)
+
+    graph = sorted(engine.graph_views.items())
+    agg = sorted(engine.aggregate_views.items())
+    if args.json:
+        payload = {
+            "graph_views": [
+                {
+                    "name": name,
+                    "elements": [list(e) for e in sorted(view.elements, key=repr)],
+                    "rows": engine.relation.view_bitmap(name).count(),
+                }
+                for name, view in graph
+            ],
+            "aggregate_views": [
+                {
+                    "name": name,
+                    "function": view.function,
+                    "path": [list(e) for e in view.path.edges()],
+                }
+                for name, view in agg
+            ],
+        }
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+    print(f"graph views ({len(graph)}):")
+    for name, view in graph:
+        elems = ", ".join(
+            edge_str(e) for e in sorted(view.elements, key=repr)
+        )
+        rows = engine.relation.view_bitmap(name).count()
+        print(f"  {name:<14} {rows:>8} rows  {{{elems}}}")
+    print(f"aggregate views ({len(agg)}):")
+    for name, view in agg:
+        path = " -> ".join(
+            edge_str(e) for e in view.path.edges()
+        )
+        print(f"  {name:<14} {view.function:<6} {path}")
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -556,8 +625,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--tenant-rate", type=float, default=None, metavar="QPS",
         help="per-tenant token-bucket rate (default unlimited)",
     )
+    p_serve.add_argument(
+        "--adaptive", action="store_true",
+        help="run the background view maintainer: observe served queries, "
+             "materialize/drop views to track the workload",
+    )
+    p_serve.add_argument(
+        "--adaptive-interval", type=float, default=5.0, metavar="SECONDS",
+        help="seconds between maintenance refreshes (default 5)",
+    )
+    p_serve.add_argument(
+        "--adaptive-budget", type=int, default=8, metavar="N",
+        help="max maintainer-managed graph views (default 8)",
+    )
+    p_serve.add_argument(
+        "--adaptive-window", type=int, default=512, metavar="N",
+        help="observed-workload window size in queries (default 512)",
+    )
+    p_serve.add_argument(
+        "--adaptive-min-support", type=int, default=2, metavar="N",
+        help="min windowed occurrences for a view candidate (default 2)",
+    )
+    p_serve.add_argument(
+        "--adaptive-floor", type=float, default=0.05, metavar="RATE",
+        help="drop a decayed view once its windowed hit rate sinks below "
+             "this (default 0.05)",
+    )
     add_serving_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_views = sub.add_parser(
+        "views", help="list a database's materialized views"
+    )
+    p_views.add_argument("database")
+    p_views.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_views.set_defaults(func=_cmd_views)
 
     p_stats = sub.add_parser("stats", help="show a database's shape and size")
     p_stats.add_argument("database")

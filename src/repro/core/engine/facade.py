@@ -1114,6 +1114,101 @@ class GraphAnalyticsEngine:
         self._bump_views_epoch()
         return view_name
 
+    def compute_view_bitmap(self, elements: Iterable[Edge]) -> Bitmap:
+        """The view bitmap for ``elements`` over the current rows, without
+        registering anything.  Used by the adaptive maintainer to *stage*
+        a view off-epoch (under a read lock) before committing it."""
+        return self._unaccounted_bitmap(frozenset(elements))
+
+    def view_delta_bitmap(self, elements: Iterable[Edge], start: int) -> Bitmap:
+        """Bits of the view bitmap for rows ``[start, n_records)`` only —
+        the append-delta of a staged build.
+
+        Rows are immutable and append-only, so a bitmap staged when the
+        relation had ``start`` rows stays correct for ``[0, start)``; only
+        the delta must be computed at commit time.  The delta conjoins the
+        per-shard element validity bitmaps of just the shards overlapping
+        the range — a small tail delta reads only the last shard's columns
+        instead of rebuilding over every row.
+        """
+        elements = frozenset(elements)
+        if not elements:
+            raise ValueError("a view needs at least one element")
+        n = self.relation.n_records
+        if not 0 <= start <= n:
+            raise ValueError(f"delta start {start} outside [0, {n}]")
+        segments: list[Bitmap] = []
+        for shard_start, shard in zip(
+            self.relation.shard_starts(), self.relation.shard_relations()
+        ):
+            length = shard.n_records
+            if length == 0 or shard_start + length <= start:
+                continue
+            seg: Bitmap | None = None
+            for element in elements:
+                edge_id = self.catalog.get_id(element)
+                if edge_id is None or not shard.has_element(edge_id):
+                    seg = Bitmap.zeros(length)
+                    break
+                validity = shard.column_for_persistence(edge_id).validity
+                seg = validity if seg is None else (seg & validity)
+            lo = max(start - shard_start, 0)
+            segments.append(seg.slice(lo, length) if lo else seg)
+        return Bitmap.concat(segments) if segments else Bitmap.zeros(n - start)
+
+    def materialize_incremental(
+        self,
+        elements: Iterable[Edge],
+        name: str | None = None,
+        staged: Bitmap | None = None,
+        staged_rows: int = 0,
+    ) -> str:
+        """Commit one graph view from a staged bitmap plus its append-delta.
+
+        ``staged`` is a bitmap previously built over the first
+        ``staged_rows`` rows (e.g. via :meth:`compute_view_bitmap` outside
+        the writer lock); rows appended since are covered by
+        :meth:`view_delta_bitmap`, so commit cost is proportional to the
+        append tail, not the relation.  With ``staged=None`` this is a
+        full build.  Returns the view name.
+        """
+        elements = frozenset(elements)
+        if not elements:
+            raise ValueError("a view needs at least one element")
+        if staged is None:
+            staged, staged_rows = Bitmap.zeros(0), 0
+        if staged.length != staged_rows:
+            raise ValueError(
+                f"staged bitmap has {staged.length} bits for {staged_rows} rows"
+            )
+        delta = self.view_delta_bitmap(elements, staged_rows)
+        bitmap = Bitmap.concat([staged, delta]) if staged_rows else delta
+        view_name = name if name is not None else self._fresh_view_name("gv")
+        self.relation.add_graph_view(view_name, bitmap)
+        self._graph_views[view_name] = GraphView(view_name, elements)
+        self._bump_views_epoch()
+        return view_name
+
+    def drop_decayed(self, names: Iterable[str]) -> list[str]:
+        """Drop the named views individually (graph or aggregate), leaving
+        every other view untouched; unknown names are ignored.  Returns
+        the names actually dropped.  A single views-epoch bump covers the
+        whole batch, so readers see one atomic transition."""
+        dropped: list[str] = []
+        for view_name in names:
+            if view_name in self._graph_views:
+                self.relation.drop_graph_view(view_name)
+                del self._graph_views[view_name]
+                dropped.append(view_name)
+            elif view_name in self._agg_views:
+                view = self._agg_views.pop(view_name)
+                for stored_fn in view.stored_functions():
+                    self.relation.drop_aggregate_view(f"{view_name}:{stored_fn}")
+                dropped.append(view_name)
+        if dropped:
+            self._bump_views_epoch()
+        return dropped
+
     def materialize_graph_views(
         self,
         workload: Sequence[GraphQuery],

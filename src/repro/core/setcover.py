@@ -26,6 +26,18 @@ from dataclasses import dataclass, field
 __all__ = ["SelectionResult", "greedy_select_views", "greedy_cover_query"]
 
 
+def _content_order(elems: frozenset) -> tuple:
+    """Deterministic rank of a candidate by *content*, not by key.
+
+    On equal gain the greedy choosers prefer the larger element set (one
+    fetch replaces more bitmap reads), then the lexicographically smallest
+    canonical element listing.  Keys (``cand7`` vs a frozenset) carry
+    enumeration order, so ranking by them made the chosen view set depend
+    on how the candidates happened to be keyed.
+    """
+    return (-len(elems), tuple(sorted(repr(e) for e in elems)))
+
+
 @dataclass
 class SelectionResult:
     """Outcome of a greedy multi-universe selection run.
@@ -72,18 +84,26 @@ def greedy_select_views(
         best_key = None
         best_gain = 0.0
         best_coverage = 0
-        for key in sorted(remaining, key=repr):
-            elems = remaining[key]
+        best_order: tuple | None = None
+        for key, elems in remaining.items():
             coverage = sum(
                 len(elems & uncovered[i]) for i in usable[key]
             )
             gain = float(coverage)
             if weights is not None:
                 gain = gain * weights.get(key, 1.0)
-            if gain > best_gain:
+            if gain <= 0.0:
+                continue
+            order = (_content_order(elems), repr(key))
+            if (
+                best_key is None
+                or gain > best_gain
+                or (gain == best_gain and order < best_order)
+            ):
                 best_gain = gain
                 best_key = key
                 best_coverage = coverage
+                best_order = order
         # Benefit of the best implicit singleton: the most universes any
         # single uncovered element appears in (weight 1 per universe).
         singleton_gain = 0
@@ -133,16 +153,27 @@ def greedy_cover_query(
     usable = {k: v for k, v in views.items() if v <= universe}
     chosen: list[Hashable] = []
     while uncovered and usable:
-        # First-wins tie-break over the mapping's (deterministic) insertion
-        # order — no repr serialization in this per-query hot path.
         best_key = None
         best_set: frozenset = frozenset()
+        best_order: tuple | None = None
         gain = 0
         for key, elems in usable.items():
             key_gain = len(elems & uncovered)
+            if key_gain == 0 or key_gain < gain:
+                continue
             if key_gain > gain:
                 gain = key_gain
                 best_key, best_set = key, elems
+                best_order = None
+                continue
+            # Equal gain: content-based tie-break so the rewrite does not
+            # depend on view creation order.  Ranks are computed lazily —
+            # ties only — to keep repr off this per-query hot path.
+            if best_order is None:
+                best_order = (_content_order(best_set), repr(best_key))
+            order = (_content_order(elems), repr(key))
+            if order < best_order:
+                best_key, best_set, best_order = key, elems, order
         if best_key is None or gain <= 1:
             # An existing single-element bitmap covers as much; stop using
             # views — fetching them would not reduce column retrievals.

@@ -264,6 +264,7 @@ class QueryExecutor:
             engine.use_shard_mapper(self._run_shards)
         if exec_mode == "process":
             self._attach_process_pool(storage_dir)
+        self._window = None
         self._closed = False
 
     def _attach_process_pool(self, storage_dir) -> None:
@@ -448,7 +449,33 @@ class QueryExecutor:
             registry.counter("exec.queries_served").inc()
             if getattr(result, "degraded", None) is not None:
                 registry.counter("resilience.degraded_results").inc()
+        if self._window is not None:
+            self._observe(query, result)
         return result
+
+    def attach_window(self, window) -> None:
+        """Stream every served query (and the views its plan used) into a
+        :class:`repro.adaptive.WorkloadWindow`; ``None`` detaches."""
+        self._window = window
+
+    def _observe(self, query: AnyQuery, result: AnyResult) -> None:
+        plan = getattr(result, "plan", None)
+        if isinstance(query, PathAggregationQuery):
+            views: tuple[str, ...] = ()
+            if plan is not None:
+                views = tuple(plan.structural_view_names) + tuple(
+                    plan.structural_agg_view_names
+                )
+            self._window.record(query.query, views)
+        elif isinstance(query, GraphQuery):
+            views = tuple(plan.view_names) if plan is not None else ()
+            self._window.record(query, views)
+        else:
+            # Boolean expressions evaluate per atom without a recorded
+            # plan; observe the atoms so their element sets still shape
+            # candidate generation.
+            for atom in query.atoms():
+                self._window.record(atom, ())
 
     def run_one(
         self,
@@ -617,3 +644,58 @@ class QueryExecutor:
         with self._rw.write():
             self.engine.drop_all_views()
             self._resync_process_pool()
+
+    # -- adaptive view maintenance --------------------------------------------
+
+    def stage_view(self, elements) -> tuple[frozenset, "object", int]:
+        """Build a view bitmap *off-epoch*, under the shared read lock:
+        concurrent queries keep flowing while the bitmap is computed.
+        Returns ``(elements, staged_bitmap, staged_rows)`` ready for
+        :meth:`commit_view_swap`; rows appended after staging are covered
+        by the append-delta at commit time."""
+        elements = frozenset(elements)
+        with self._rw.read():
+            staged = self.engine.compute_view_bitmap(elements)
+            return elements, staged, self.engine.n_records
+
+    def commit_view_swap(self, adds=(), drops=()) -> dict:
+        """Atomically apply one batch of view adds and drops.
+
+        ``adds`` is an iterable of ``(name, elements, staged, staged_rows)``
+        tuples (``name`` may be None for an auto-generated one); ``drops``
+        is an iterable of view names.  The whole swap happens under one
+        exclusive lock section with a single process-pool resync, so a
+        reader observes either the old view set or the new one — never a
+        half-committed mix — and the epoch bump invalidates every cached
+        bitmap from the old state.
+        """
+        added: list[str] = []
+        dropped: list[str] = []
+        with self._rw.write():
+            for name, elements, staged, staged_rows in adds:
+                added.append(
+                    self.engine.materialize_incremental(
+                        elements, name=name, staged=staged, staged_rows=staged_rows
+                    )
+                )
+            drops = list(drops)
+            if drops:
+                dropped = self.engine.drop_decayed(drops)
+            if added or dropped:
+                self._resync_process_pool()
+            return {
+                "added": added,
+                "dropped": dropped,
+                "epoch": self.engine.epoch,
+                "n_records": self.engine.n_records,
+            }
+
+    def materialize_incremental(self, elements, name: str | None = None) -> str:
+        """Stage off-epoch, then commit: the convenience one-view path."""
+        elements, staged, staged_rows = self.stage_view(elements)
+        swap = self.commit_view_swap(adds=[(name, elements, staged, staged_rows)])
+        return swap["added"][0]
+
+    def drop_decayed(self, names) -> list[str]:
+        """Atomically drop the named views (unknown names ignored)."""
+        return self.commit_view_swap(drops=list(names))["dropped"]

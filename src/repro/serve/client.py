@@ -209,5 +209,8 @@ class ServeClient:
     def healthz(self) -> dict:
         return self._json_or_raise(self.request("GET", "/healthz"))
 
+    def views(self) -> dict:
+        return self._json_or_raise(self.request("GET", "/views"))
+
     def metrics(self) -> dict:
         return self._json_or_raise(self.request("GET", "/metrics?format=json"))

@@ -88,6 +88,11 @@ class ReproServer:
     ``gate`` supplies multi-tenant admission (the executor's own
     ``admission`` should be None — the daemon gates *before* the engine,
     tenant first, so the executor never double-counts).
+
+    ``maintainer`` is an optional
+    :class:`~repro.adaptive.ViewMaintainer`: its background loop starts
+    and stops with the server, and ``GET /views`` reports its status
+    alongside the materialized view catalog.
     """
 
     def __init__(
@@ -96,8 +101,10 @@ class ReproServer:
         registry: MetricsRegistry | None = None,
         gate: TenantGate | None = None,
         config: ServeConfig | None = None,
+        maintainer=None,
     ):
         self.executor = executor
+        self.maintainer = maintainer
         self.registry = registry if registry is not None else executor.registry
         if self.registry is None:
             self.registry = MetricsRegistry()
@@ -124,6 +131,8 @@ class ReproServer:
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
         )
+        if self.maintainer is not None:
+            self.maintainer.start()
 
     async def stop(self, drain_s: float | None = None) -> None:
         """Graceful stop: refuse new work, drain inflight, then cut.
@@ -134,6 +143,12 @@ class ReproServer:
         """
         drain_s = self.config.drain_s if drain_s is None else drain_s
         self._closing = True
+        if self.maintainer is not None:
+            # Joining the maintainer thread can wait out an in-flight
+            # refresh; keep that off the event loop.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.maintainer.stop
+            )
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -221,6 +236,7 @@ class ReproServer:
         "/materialize": ("POST",),
         "/metrics": ("GET", "HEAD"),
         "/healthz": ("GET", "HEAD"),
+        "/views": ("GET", "HEAD"),
     }
 
     async def _dispatch(
@@ -257,6 +273,8 @@ class ReproServer:
                 keep = await self._handle_healthz(request, writer)
             elif request.path == "/metrics":
                 keep = await self._handle_metrics(request, writer)
+            elif request.path == "/views":
+                keep = await self._handle_views(request, writer)
             elif request.path in ("/query", "/aggregate"):
                 keep = await self._handle_query(request, reader, writer)
             elif request.path == "/explain":
@@ -408,6 +426,41 @@ class ReproServer:
             "n_shards": getattr(engine, "n_shards", 1),
             "inflight": self.gate.inflight(),
             "admission": self.gate.stats(),
+        }
+        return await self._send_json(writer, request, 200, payload)
+
+    async def _handle_views(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> bool:
+        """The materialized view catalog plus adaptive-maintainer status."""
+
+        def snapshot():
+            engine = self.executor.engine
+            graph = [
+                {
+                    "name": name,
+                    "elements": [list(e) for e in sorted(view.elements, key=repr)],
+                }
+                for name, view in sorted(engine.graph_views.items())
+            ]
+            agg = [
+                {
+                    "name": name,
+                    "function": view.function,
+                    "path": [list(e) for e in view.path.edges()],
+                }
+                for name, view in sorted(engine.aggregate_views.items())
+            ]
+            return graph, agg
+
+        graph, agg = await self._in_engine(snapshot)
+        payload = {
+            "epoch": self.executor.epoch,
+            "graph_views": graph,
+            "aggregate_views": agg,
+            "adaptive": (
+                self.maintainer.status() if self.maintainer is not None else None
+            ),
         }
         return await self._send_json(writer, request, 200, payload)
 
@@ -719,10 +772,13 @@ def start_in_thread(
     registry: MetricsRegistry | None = None,
     gate: TenantGate | None = None,
     config: ServeConfig | None = None,
+    maintainer=None,
 ) -> ServerHandle:
     """Start a daemon on its own event-loop thread and wait until it
     accepts connections."""
-    server = ReproServer(executor, registry=registry, gate=gate, config=config)
+    server = ReproServer(
+        executor, registry=registry, gate=gate, config=config, maintainer=maintainer
+    )
     loop = asyncio.new_event_loop()
     started = threading.Event()
     failure: list[BaseException] = []

@@ -152,3 +152,102 @@ class TestGreedyCoverQuery:
         }
         chosen, residue = greedy_cover_query(universe, views)
         assert len(chosen) + len(residue) <= len(universe)
+
+
+class TestDeterministicTieBreaking:
+    """Equal-gain rounds must resolve on candidate *content*, not on how
+    the candidates happened to be keyed or ordered — the advisor and the
+    adaptive maintainer re-key candidates every refresh, so key-dependent
+    ties made the chosen view set drift between identical windows."""
+
+    def test_selection_invariant_under_key_renaming(self):
+        universes = [fs(1, 2, 9), fs(1, 2, 8), fs(3, 4, 9), fs(3, 4, 8)]
+        sets = [fs(1, 2), fs(3, 4), fs(1, 9), fs(3, 8)]
+        a = greedy_select_views(
+            universes, {f"cand{i}": s for i, s in enumerate(sets)}, budget=2
+        )
+        b = greedy_select_views(
+            universes,
+            {f"zz{9 - i}": s for i, s in enumerate(sets)},
+            budget=2,
+        )
+        pick_a = [dict(enumerate(sets))[int(k[4:])] for k in a.selected]
+        pick_b = [sets[9 - int(k[2:])] for k in b.selected]
+        assert pick_a == pick_b
+
+    def test_selection_invariant_under_insertion_order(self):
+        universes = [fs(1, 2), fs(1, 2), fs(3, 4), fs(3, 4)]
+        forward = {"a": fs(1, 2), "b": fs(3, 4)}
+        backward = {"b": fs(3, 4), "a": fs(1, 2)}
+        first = greedy_select_views(universes, forward, budget=1).selected
+        second = greedy_select_views(universes, backward, budget=1).selected
+        assert [forward[k] for k in first] == [backward[k] for k in second]
+
+    def test_equal_gain_prefers_larger_set(self):
+        # Both candidates gain 2 in round one (only two of "wide"'s
+        # elements are in any universe it covers... construct equal gain
+        # directly): two disjoint pairs, each in two universes.
+        universes = [fs(1, 2, 3), fs(1, 2, 3)]
+        candidates = {"pair": fs(1, 2), "triple": fs(1, 2, 3)}
+        # triple gains 6, pair gains 4: not a tie.  Make a real tie:
+        universes = [fs(1, 2), fs(3, 4, 5)]
+        candidates = {"small": fs(1, 2), "big": fs(3, 4)}
+        # small gains 2 (universe 0), big gains 2 (universe 1): tie ->
+        # content order prefers the lexicographically smaller canonical
+        # element listing at equal size.
+        result = greedy_select_views(universes, candidates, budget=1)
+        assert result.selected == ["small"]
+
+    def test_pinned_regression_view_set(self):
+        """Pin the exact chosen sets for a fixed workload; shuffling the
+        candidate enumeration must not change them."""
+        universes = [
+            fs("ab", "bc", "cd"),
+            fs("ab", "bc", "de"),
+            fs("bc", "cd", "de"),
+            fs("ab", "cd", "de"),
+        ]
+        sets = [
+            fs("ab", "bc"),
+            fs("ab", "cd"),
+            fs("bc", "cd"),
+            fs("cd", "de"),
+            fs("ab", "de"),
+            fs("bc", "de"),
+        ]
+        expected = None
+        import random
+
+        for seed in range(6):
+            order = list(sets)
+            random.Random(seed).shuffle(order)
+            keyed = {i: s for i, s in enumerate(order)}
+            result = greedy_select_views(universes, keyed, budget=3)
+            picked = [keyed[k] for k in result.selected]
+            if expected is None:
+                expected = picked
+            assert picked == expected
+        # The pinned outcome itself (content-ranked greedy): round one is
+        # a six-way tie at gain 4 resolved to the smallest canonical
+        # listing {ab,bc}; round two {cd,de} gains 4; round three is a
+        # four-way tie at gain 2 resolved to {ab,cd}.
+        assert expected == [fs("ab", "bc"), fs("cd", "de"), fs("ab", "cd")]
+
+    def test_cover_query_tie_invariant_under_view_order(self):
+        universe = fs(1, 2, 3, 4)
+        forward = {"v1": fs(1, 2), "v2": fs(3, 4)}
+        backward = {"v2": fs(3, 4), "v1": fs(1, 2)}
+        chosen_f, _ = greedy_cover_query(universe, forward)
+        chosen_b, _ = greedy_cover_query(universe, backward)
+        assert [forward[k] for k in chosen_f] == [backward[k] for k in chosen_b]
+
+    def test_cover_query_tie_prefers_content_order(self):
+        # Equal gain, equal size: the lexicographically smaller element
+        # listing wins regardless of insertion order or key names.
+        universe = fs("p", "q", "x", "y")
+        views = {"zz": fs("x", "y"), "aa": fs("p", "q")}
+        chosen, _ = greedy_cover_query(universe, views)
+        assert chosen[0] == "aa"
+        views_flipped = {"aa": fs("x", "y"), "zz": fs("p", "q")}
+        chosen, _ = greedy_cover_query(universe, views_flipped)
+        assert chosen[0] == "zz"
