@@ -42,7 +42,15 @@ from .columnstore import Bitmap, IOStats, MasterRelation
 from .exec import BitmapCache, CacheStats, QueryExecutor
 from .adaptive import ViewMaintainer, WorkloadWindow
 from .advisor import AdaptiveViewAdvisor
-from .dsl import QuerySyntaxError, parse_aggregation, parse_query
+from .lang import (
+    QuerySyntaxError,
+    canonical,
+    parse_aggregation,
+    parse_query,
+    parse_statement,
+    try_unparse,
+    unparse,
+)
 from .errors import (
     AdmissionRejectedError,
     CircuitOpenError,
@@ -112,8 +120,12 @@ __all__ = [
     "QuarantineReport",
     "QuerySyntaxError",
     "ReproError",
+    "canonical",
     "parse_aggregation",
     "parse_query",
+    "parse_statement",
+    "try_unparse",
+    "unparse",
     "read_csv_triplets",
     "read_jsonl",
     "write_csv_triplets",

@@ -37,13 +37,23 @@ from pathlib import Path as FsPath
 
 from .columnstore import relation_disk_usage
 from .core import GraphAnalyticsEngine
-from .dsl import parse_aggregation, parse_query
 from .errors import (
     AdmissionRejectedError,
     QueryCancelledError,
+    QuerySyntaxError,
     QueryTimeoutError,
     ReproError,
     ShardExecutionError,
+)
+from .lang import (
+    diagnose,
+    format_workload,
+    parse_aggregation,
+    parse_query,
+    parse_statement,
+    parse_statement_ast,
+    parse_workload,
+    render_syntax_error,
 )
 from .exec import QueryExecutor
 from .io import QuarantineReport, ingest_records, read_csv_triplets, read_jsonl
@@ -92,6 +102,18 @@ def _print_degraded(result) -> None:
         print(f"warning: {report.summary()}", file=sys.stderr)
 
 
+def _warn_unknown_nodes(engine: GraphAnalyticsEngine, text: str) -> None:
+    """Did-you-mean warnings for node labels absent from the engine's
+    catalog.  Unknown labels are legal (the answer is just empty), so
+    these are stderr warnings, never errors."""
+    try:
+        ast = parse_statement_ast(text)
+    except QuerySyntaxError:  # pragma: no cover - caller already parsed
+        return
+    for diag in diagnose(ast, engine.catalog.nodes()):
+        print(f"warning: {diag.message}", file=sys.stderr)
+
+
 def _cmd_load(args: argparse.Namespace) -> int:
     source = FsPath(args.source)
     if args.format == "auto":
@@ -128,6 +150,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     engine = _load_engine(FsPath(args.database), args)
     expr = parse_query(args.query)
+    _warn_unknown_nodes(engine, args.query)
     with _executor_for(args, engine) as executor:
         result = executor.run_one(expr, fetch_measures=not args.ids_only)
     _print_degraded(result)
@@ -151,6 +174,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_aggregate(args: argparse.Namespace) -> int:
     engine = _load_engine(FsPath(args.database), args)
     query = parse_aggregation(args.query)
+    _warn_unknown_nodes(engine, args.query)
     with _executor_for(args, engine) as executor:
         result = executor.run_one(query)
     _print_degraded(result)
@@ -166,25 +190,19 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
 def _parse_workload_line(line: str):
     """One DSL line: a path-aggregation when it leads with a registered
     aggregate function name, a graph query otherwise."""
-    from .core.aggregates import FUNCTIONS
-
-    head = line.split(maxsplit=1)[0].lower()
-    if head in FUNCTIONS:
-        return parse_aggregation(line)
-    return parse_query(line)
+    return parse_statement(line)
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     """Serve a file of DSL queries (one per line, ``#`` comments) through
-    the concurrent executor and report throughput + cache efficiency."""
+    the concurrent executor and report throughput + cache efficiency.
+
+    A malformed line fails with its 1-based line number and a caret
+    pointing at the offending column."""
     import time
 
-    lines = [
-        stripped
-        for raw in FsPath(args.queries).read_text().splitlines()
-        if (stripped := raw.strip()) and not stripped.startswith("#")
-    ]
-    workload = [_parse_workload_line(line) for line in lines]
+    statements = parse_workload(FsPath(args.queries).read_text())
+    workload = [stmt.query for stmt in statements]
     engine = _load_engine(FsPath(args.database), args)
     engine.reset_stats()
     with _executor_for(args, engine) as executor:
@@ -199,13 +217,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
         elapsed = time.perf_counter() - started
     failed = 0
-    for line, result in zip(lines, results):
+    for stmt, result in zip(statements, results):
         if isinstance(result, Exception):
             failed += 1
-            print(f" ERROR  {line}  [{_describe_error(result)}]")
+            print(f" ERROR  {stmt.text}  [{_describe_error(result)}]")
         else:
             _print_degraded(result)
-            print(f"{len(result):6d}  {line}")
+            print(f"{len(result):6d}  {stmt.text}")
     stats = engine.stats
     rate = len(results) / elapsed if elapsed else float("inf")
     print(
@@ -235,6 +253,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
     engine = _load_engine(FsPath(args.database), args)
     query = _parse_workload_line(args.query)
+    _warn_unknown_nodes(engine, args.query)
     if args.cache_mb:
         from .exec import BitmapCache
 
@@ -253,12 +272,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     engine = _load_engine(FsPath(args.database), args)
     registry = MetricsRegistry()
     if args.queries:
-        lines = [
-            stripped
-            for raw in FsPath(args.queries).read_text().splitlines()
-            if (stripped := raw.strip()) and not stripped.startswith("#")
-        ]
-        workload = [_parse_workload_line(line) for line in lines]
+        statements = parse_workload(FsPath(args.queries).read_text())
+        workload = [stmt.query for stmt in statements]
         with QueryExecutor(
             engine, jobs=args.jobs, cache_mb=args.cache_mb, registry=registry
         ) as executor:
@@ -412,6 +427,42 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"aggregate views:    {len(relation.aggregate_view_names())}")
     print(f"size (model):       {relation.disk_size_bytes() / 1e6:.2f} MB")
     print(f"size (on disk):     {relation_disk_usage(directory) / 1e6:.2f} MB")
+    return 0
+
+
+def _cmd_fmt(args: argparse.Namespace) -> int:
+    """Canonicalize DSL query/workload files in place (``repro fmt``).
+
+    Every statement is rewritten to its canonical spelling (the one
+    EXPLAIN prints and the unparser emits); comments and blank lines are
+    preserved.  ``--check`` reports files that would change without
+    touching them (exit 1), for CI.  ``--stdout`` prints the formatted
+    text instead of rewriting (single file only).
+    """
+    if args.stdout and len(args.files) != 1:
+        print("error: --stdout takes exactly one file", file=sys.stderr)
+        return 2
+    changed: list[str] = []
+    for name in args.files:
+        path = FsPath(name)
+        original = path.read_text()
+        try:
+            formatted = format_workload(original)
+        except QuerySyntaxError as exc:
+            print(f"{name}: {render_syntax_error(exc)}", file=sys.stderr)
+            return 2
+        if args.stdout:
+            sys.stdout.write(formatted)
+            return 0
+        if formatted != original:
+            changed.append(name)
+            if not args.check:
+                path.write_text(formatted)
+                print(f"formatted {name}", file=sys.stderr)
+    if args.check and changed:
+        for name in changed:
+            print(f"would reformat {name}")
+        return 1
     return 0
 
 
@@ -667,6 +718,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("database")
     p_stats.set_defaults(func=_cmd_stats)
 
+    p_fmt = sub.add_parser(
+        "fmt", help="canonicalize DSL query/workload files in place"
+    )
+    p_fmt.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="workload files (one statement per line, # comments kept)",
+    )
+    p_fmt.add_argument(
+        "--check", action="store_true",
+        help="don't rewrite; exit 1 listing files that would change",
+    )
+    p_fmt.add_argument(
+        "--stdout", action="store_true",
+        help="print the formatted text instead of rewriting (one file)",
+    )
+    p_fmt.set_defaults(func=_cmd_fmt)
+
     p_demo = sub.add_parser("demo", help="run a synthetic demo session")
     p_demo.add_argument("--records", type=int, default=500)
     p_demo.set_defaults(func=_cmd_demo)
@@ -690,6 +758,10 @@ def main(argv: list[str] | None = None) -> int:
         # distinct exit codes so callers can branch on the failure class.
         print(f"error: {_describe_error(exc)}", file=sys.stderr)
         return _exit_code_for(exc)
+    except QuerySyntaxError as exc:
+        # Caret-annotated rendering: message, offending line, ^ column.
+        print(f"error: {render_syntax_error(exc)}", file=sys.stderr)
+        return 2
     except (ReproError, ValueError, FileNotFoundError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

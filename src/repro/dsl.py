@@ -1,229 +1,23 @@
-"""A small text language for graph queries.
+"""Compatibility shim over the layered :mod:`repro.lang` front-end.
 
-The paper models queries as graphs; BI users type text.  The DSL covers
-the whole query model with a compact grammar::
+The original single-file DSL grew into a package — position-tracking
+lexer, typed AST, lowering pass, canonical unparser — living in
+:mod:`repro.lang`.  This module keeps the historical import surface
+(``from repro.dsl import parse_query, parse_aggregation,
+QuerySyntaxError``) working unchanged; new code should import from
+:mod:`repro.lang`, which also exposes the AST, the unparser, and the
+workload helpers.
 
-    A -> D -> E -> G -> I              a path query (the paper's Q1)
-    {(C,H), (F,J), (J,K)}              an explicit element set (Q2's legs)
-    {(D,D)}                            node D's own measure (self pair)
-    A->B AND C->D                      boolean combinators over answers
-    A->B OR C->D
-    A->B AND NOT C->D
-    (A->B OR C->D) AND NOT {(E,F)}     grouping
-    SUM A -> C -> E -> F               a path-aggregation query (§3.4)
-    MAX A -> B AND NOT C -> D          …any aggregate name works
-
-Grammar (recursive descent, ``OR`` binds loosest)::
-
-    aggregate := FUNC expr
-    expr      := term ( OR term )*
-    term      := factor ( AND [NOT] factor )*
-    factor    := '(' expr ')' | chain | elements
-    chain     := node ( '->' node )+
-    elements  := '{' '(' node ',' node ')' ( ',' '(' node ',' node ')' )* '}'
-    node      := bare word or 'quoted string'
-
-``parse_query`` returns a :class:`~repro.core.query.QueryExpr` ready for
-``engine.query``; ``parse_aggregation`` returns a
-:class:`~repro.core.query.PathAggregationQuery` for ``engine.aggregate``.
+The grammar is a superset of the original: paths gained open ends
+(``A -> D ->``, ``-> G -> I``), composite steps (``[A,G] -> I``),
+measured-node markers (``D!``), and the path-join (``p JOIN q``);
+``AND``/``OR``/``NOT``/``JOIN`` became reserved words (quote them to use
+them as labels); error messages now carry exact source positions.
 """
 
 from __future__ import annotations
 
-import re
-
-from .core.aggregates import FUNCTIONS
-from .core.query import And, AndNot, GraphQuery, Or, PathAggregationQuery, QueryExpr
 from .errors import QuerySyntaxError
+from .lang import parse_aggregation, parse_query, parse_statement
 
-__all__ = ["parse_query", "parse_aggregation", "QuerySyntaxError"]
-
-
-_TOKEN_RE = re.compile(
-    r"""
-    (?P<ws>\s+)
-  | (?P<arrow>->)
-  | (?P<lparen>\()
-  | (?P<rparen>\))
-  | (?P<lbrace>\{)
-  | (?P<rbrace>\})
-  | (?P<comma>,)
-  | (?P<quoted>'[^']*')
-  | (?P<word>(?:[A-Za-z0-9_.]|-(?!>))+)
-    """,
-    re.VERBOSE,
-)
-
-
-def _tokenize(text: str) -> list[tuple[str, str, int]]:
-    tokens = []
-    position = 0
-    while position < len(text):
-        match = _TOKEN_RE.match(text, position)
-        if match is None:
-            raise QuerySyntaxError(
-                f"unexpected character {text[position]!r} at position {position}"
-            )
-        kind = match.lastgroup
-        value = match.group()
-        position = match.end()
-        if kind == "ws":
-            continue
-        if kind == "quoted":
-            value = value[1:-1]
-            kind = "word"
-        tokens.append((kind, value, match.start()))
-    return tokens
-
-
-class _Parser:
-    def __init__(self, text: str):
-        self.text = text
-        self.tokens = _tokenize(text)
-        self.index = 0
-
-    # -- token helpers --------------------------------------------------------
-
-    def peek(self) -> tuple[str, str, int] | None:
-        if self.index < len(self.tokens):
-            return self.tokens[self.index]
-        return None
-
-    def next(self) -> tuple[str, str, int]:
-        token = self.peek()
-        if token is None:
-            raise QuerySyntaxError("unexpected end of query")
-        self.index += 1
-        return token
-
-    def expect(self, kind: str, what: str) -> str:
-        token = self.next()
-        if token[0] != kind:
-            raise QuerySyntaxError(
-                f"expected {what} at position {token[2]}, got {token[1]!r}"
-            )
-        return token[1]
-
-    def at_keyword(self, word: str) -> bool:
-        token = self.peek()
-        return (
-            token is not None
-            and token[0] == "word"
-            and token[1].upper() == word
-        )
-
-    # -- grammar ---------------------------------------------------------------
-
-    def parse_expr(self) -> QueryExpr:
-        left = self.parse_term()
-        while self.at_keyword("OR"):
-            self.next()
-            left = Or(left, self.parse_term())
-        return left
-
-    def parse_term(self) -> QueryExpr:
-        left = self.parse_factor()
-        while self.at_keyword("AND"):
-            self.next()
-            if self.at_keyword("NOT"):
-                self.next()
-                left = AndNot(left, self.parse_factor())
-            else:
-                left = And(left, self.parse_factor())
-        return left
-
-    def parse_factor(self) -> QueryExpr:
-        token = self.peek()
-        if token is None:
-            raise QuerySyntaxError("unexpected end of query")
-        if token[0] == "lparen":
-            self.next()
-            inner = self.parse_expr()
-            self.expect("rparen", "')'")
-            return inner
-        if token[0] == "lbrace":
-            return self.parse_elements()
-        if token[0] == "word":
-            return self.parse_chain()
-        raise QuerySyntaxError(
-            f"expected a path, element set or '(' at position {token[2]}, "
-            f"got {token[1]!r}"
-        )
-
-    def parse_chain(self) -> GraphQuery:
-        nodes = [self.expect("word", "a node name")]
-        while True:
-            token = self.peek()
-            if token is not None and token[0] == "arrow":
-                self.next()
-                nodes.append(self.expect("word", "a node name"))
-            else:
-                break
-        if len(nodes) < 2:
-            raise QuerySyntaxError(
-                f"a path needs at least two nodes (got only {nodes[0]!r}); "
-                "use {(X,X)} for a single node's measure"
-            )
-        return GraphQuery.from_node_chain(*nodes)
-
-    def parse_elements(self) -> GraphQuery:
-        self.expect("lbrace", "'{'")
-        elements = [self.parse_pair()]
-        while True:
-            token = self.peek()
-            if token is not None and token[0] == "comma":
-                self.next()
-                elements.append(self.parse_pair())
-            else:
-                break
-        self.expect("rbrace", "'}'")
-        return GraphQuery(elements)
-
-    def parse_pair(self) -> tuple[str, str]:
-        self.expect("lparen", "'('")
-        u = self.expect("word", "a node name")
-        self.expect("comma", "','")
-        v = self.expect("word", "a node name")
-        self.expect("rparen", "')'")
-        return (u, v)
-
-    def finish(self) -> None:
-        token = self.peek()
-        if token is not None:
-            raise QuerySyntaxError(
-                f"unexpected {token[1]!r} at position {token[2]}"
-            )
-
-
-def parse_query(text: str) -> QueryExpr:
-    """Parse query text into a (possibly compound) query expression."""
-    parser = _Parser(text)
-    expr = parser.parse_expr()
-    parser.finish()
-    return expr
-
-
-def parse_aggregation(text: str) -> PathAggregationQuery:
-    """Parse ``FUNC <query>`` into a path-aggregation query.
-
-    The leading word must name a registered aggregate (SUM, MIN, MAX,
-    COUNT, AVG, or anything added via ``register_function``); the rest
-    must reduce to an atomic graph query (boolean combinations have no
-    single path structure to aggregate over).
-    """
-    parser = _Parser(text)
-    token = parser.peek()
-    if token is None or token[0] != "word" or token[1].lower() not in FUNCTIONS:
-        known = ", ".join(sorted(f.upper() for f in FUNCTIONS))
-        raise QuerySyntaxError(
-            f"an aggregation must start with a function name ({known})"
-        )
-    function = parser.next()[1].lower()
-    expr = parser.parse_expr()
-    parser.finish()
-    if not isinstance(expr, GraphQuery):
-        raise QuerySyntaxError(
-            "path aggregation applies to a single graph query, not a "
-            "boolean combination"
-        )
-    return PathAggregationQuery(expr, function)
+__all__ = ["parse_query", "parse_aggregation", "parse_statement", "QuerySyntaxError"]

@@ -110,7 +110,28 @@ class IngestError(ReproError, ValueError):
 
 
 class QuerySyntaxError(ReproError, ValueError):
-    """A DSL query string could not be parsed."""
+    """A query string could not be parsed (or lowered to a query object).
+
+    Raised by the :mod:`repro.lang` front-end.  ``position`` is the
+    0-based character offset of the offending token in the source text
+    (None when the error has no single location); ``source`` is the text
+    being parsed, kept so renderers can point a caret at the offset; and
+    ``line`` is an optional 1-based workload-file line number attached by
+    batch consumers.  :func:`repro.lang.render_syntax_error` turns all of
+    that into the caret-annotated message the CLI prints.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int | None = None,
+        source: str | None = None,
+        line: int | None = None,
+    ):
+        super().__init__(message)
+        self.position = position
+        self.source = source
+        self.line = line
 
 
 class PathJoinError(ReproError, ValueError):

@@ -1,0 +1,205 @@
+"""Typed AST for the path-algebra query language.
+
+The AST mirrors the grammar one level above the core query objects: it
+keeps *surface* structure — step order, endpoint openness, measured-node
+markers, composite alternatives, path joins — that the lowered
+:class:`~repro.core.query.QueryExpr` deliberately forgets (a
+``GraphQuery`` is just a set of structural elements).  That is what
+makes a canonical unparser and grammar-driven fuzzing possible: the
+fuzzer generates these nodes, unparses them, and checks the parse →
+lower pipeline against lowering the AST directly.
+
+Every node carries a :class:`Span` (character offsets into the source)
+so the lowering pass and diagnostics can point at the exact token.
+Spans never participate in equality — two ASTs are equal when they
+describe the same query, wherever they were written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Name",
+    "Node",
+    "Step",
+    "PathPattern",
+    "JoinExpr",
+    "ElementSet",
+    "AndExpr",
+    "OrExpr",
+    "AndNotExpr",
+    "Aggregate",
+    "QueryNode",
+    "walk_names",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class Span:
+    """Half-open character range ``[start, end)`` in the source text."""
+
+    start: int
+    end: int
+
+    # Spans are positional metadata only: all spans compare equal so the
+    # dataclass-generated __eq__ of the owning nodes ignores them.
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Span)
+
+    def __hash__(self) -> int:
+        return 0
+
+
+NO_SPAN = Span(0, 0)
+
+
+@dataclass(frozen=True)
+class Name:
+    """An identifier: a node label or an aggregate-function name.
+
+    ``quoted`` records only how the source spelled it; a quoted and a
+    bare spelling of the same label are the same name.
+    """
+
+    value: str
+    span: Span = NO_SPAN
+    quoted: bool = field(default=False, compare=False)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One node occurrence in a path: a label plus the optional ``!``
+    measured-node marker (the node's self-edge joins the structural
+    condition)."""
+
+    name: Name
+    measured: bool = False
+    span: Span = NO_SPAN
+
+
+@dataclass(frozen=True)
+class Step:
+    """One hop position in a path pattern.
+
+    A single node, or a composite alternative set ``[A,G]`` — the
+    pattern expands over the cartesian product of its steps.
+    """
+
+    nodes: tuple[Node, ...]
+    span: Span = NO_SPAN
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a step needs at least one node alternative")
+
+    @property
+    def is_composite(self) -> bool:
+        return len(self.nodes) > 1
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """A (possibly composite, possibly open-ended) path.
+
+    ``open_start`` / ``open_end`` are the leading / trailing ``->`` of
+    the surface form: ``-> G -> I`` excludes G's own measure, ``A -> D
+    ->`` excludes D's (the paper's parenthesis-vs-bracket endpoints).
+    """
+
+    steps: tuple[Step, ...]
+    open_start: bool = False
+    open_end: bool = False
+    span: Span = NO_SPAN
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a path pattern needs at least one step")
+
+
+@dataclass(frozen=True)
+class JoinExpr:
+    """The path-join ``left ⋈ right`` (spelled ``JOIN`` or ``⋈``).
+
+    Parsing is left-associative, so ``a JOIN b JOIN c`` arrives as
+    ``JoinExpr(JoinExpr(a, b), c)``; the right operand is always a
+    :class:`PathPattern`.
+    """
+
+    left: "PathPattern | JoinExpr"
+    right: PathPattern
+    span: Span = NO_SPAN
+
+
+@dataclass(frozen=True)
+class ElementSet:
+    """An explicit structural-element set ``{(C,H), (F,J)}``."""
+
+    pairs: tuple[tuple[Name, Name], ...]
+    span: Span = NO_SPAN
+
+    def __post_init__(self) -> None:
+        if not self.pairs:
+            raise ValueError("an element set needs at least one pair")
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    left: "QueryNode"
+    right: "QueryNode"
+    span: Span = NO_SPAN
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    left: "QueryNode"
+    right: "QueryNode"
+    span: Span = NO_SPAN
+
+
+@dataclass(frozen=True)
+class AndNotExpr:
+    left: "QueryNode"
+    right: "QueryNode"
+    span: Span = NO_SPAN
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``FUNC <query>`` — a path aggregation statement."""
+
+    function: Name
+    expr: "QueryNode"
+    span: Span = NO_SPAN
+
+
+QueryNode = (
+    PathPattern | JoinExpr | ElementSet | AndExpr | OrExpr | AndNotExpr
+)
+
+
+def walk_names(node) -> list[Name]:
+    """Every node-label :class:`Name` in the tree, left to right (the
+    aggregate function name is not a node label and is skipped)."""
+    out: list[Name] = []
+
+    def visit(n) -> None:
+        if isinstance(n, Aggregate):
+            visit(n.expr)
+        elif isinstance(n, (AndExpr, OrExpr, AndNotExpr, JoinExpr)):
+            visit(n.left)
+            visit(n.right)
+        elif isinstance(n, PathPattern):
+            for step in n.steps:
+                for alt in step.nodes:
+                    out.append(alt.name)
+        elif isinstance(n, ElementSet):
+            for u, v in n.pairs:
+                out.append(u)
+                out.append(v)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not an AST node: {n!r}")
+
+    visit(node)
+    return out

@@ -1,0 +1,145 @@
+"""Position-tracking lexer for the path-algebra query language.
+
+Every token remembers the character offset, line, and column where it
+started, so the parser and the lowering pass can attach an exact source
+location to any diagnostic.  The token stream also understands the two
+workload-file conveniences: ``#`` comments run to end of line, and
+quoted identifiers support backslash escapes (``\\'``, ``\\\\``,
+``\\n``, ``\\r``, ``\\t``), which is what lets the canonical unparser
+express *any* string label.
+
+The bare-word rule is inherited from the original DSL: a word is a run
+of ``[A-Za-z0-9_.]`` or ``-`` not followed by ``>`` (so ``hub-1`` is one
+word while ``A->B`` splits around the arrow).  The unparser's quoting
+rule (:data:`repro.lang.unparse.SAFE_BARE_RE`) is the exact complement.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import QuerySyntaxError
+
+__all__ = ["Token", "tokenize", "line_and_column"]
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<arrow>->)
+  | (?P<join>⋈)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<comma>,)
+  | (?P<bang>!)
+  | (?P<quoted>'(?:\\.|[^'\\\n])*')
+  | (?P<word>(?:[A-Za-z0-9_.]|-(?!>))+)
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {"'": "'", "\\": "\\", "n": "\n", "r": "\r", "t": "\t"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source location.
+
+    ``value`` is the decoded payload (quotes stripped and escapes
+    resolved for ``quoted`` tokens); ``text`` is the raw source slice.
+    """
+
+    kind: str
+    value: str
+    text: str
+    pos: int
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # compact, for parser error messages
+        return f"Token({self.kind}, {self.value!r} @{self.pos})"
+
+
+def line_and_column(text: str, pos: int) -> tuple[int, int]:
+    """1-based (line, column) of character offset ``pos`` in ``text``."""
+    pos = max(0, min(pos, len(text)))
+    line = text.count("\n", 0, pos) + 1
+    last_nl = text.rfind("\n", 0, pos)
+    return line, pos - last_nl  # column is 1-based because last_nl is -1 or \n
+
+
+def _unescape(raw: str, pos: int) -> str:
+    """Decode a quoted token's payload, rejecting unknown escapes."""
+    body = raw[1:-1]
+    out: list[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            if i + 1 >= len(body):  # cannot happen with the token regex
+                raise QuerySyntaxError(
+                    f"dangling escape at position {pos + 1 + i}",
+                    position=pos + 1 + i,
+                )
+            escape = body[i + 1]
+            decoded = _ESCAPES.get(escape)
+            if decoded is None:
+                raise QuerySyntaxError(
+                    f"unknown escape \\{escape} at position {pos + 1 + i}",
+                    position=pos + 1 + i,
+                )
+            out.append(decoded)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def tokenize(text: str, keep_comments: bool = False) -> list[Token]:
+    """Tokenize ``text``; raises :class:`QuerySyntaxError` with an exact
+    position for any character the grammar has no use for.
+
+    Comments are dropped unless ``keep_comments`` (the workload
+    formatter wants them back).  Whitespace never reaches the caller.
+    """
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            ch = text[position]
+            if ch == "'":
+                raise QuerySyntaxError(
+                    f"unclosed quote starting at position {position}",
+                    position=position,
+                    source=text,
+                )
+            raise QuerySyntaxError(
+                f"unexpected character {ch!r} at position {position}",
+                position=position,
+                source=text,
+            )
+        kind = match.lastgroup
+        raw = match.group()
+        start = match.start()
+        position = match.end()
+        if kind == "ws" or (kind == "comment" and not keep_comments):
+            continue
+        value = raw
+        if kind == "quoted":
+            try:
+                value = _unescape(raw, start)
+            except QuerySyntaxError as exc:
+                raise QuerySyntaxError(
+                    str(exc), position=exc.position, source=text
+                ) from None
+        line, column = line_and_column(text, start)
+        tokens.append(Token(kind, value, raw, start, line, column))
+    return tokens

@@ -1,0 +1,300 @@
+"""Lowering: typed AST → executable core query objects.
+
+The lowering pass is where surface structure becomes the paper's query
+model:
+
+* a :class:`~.ast.PathPattern` expands its composite steps over the
+  cartesian product, keeps the simple-path expansions, turns each into a
+  :class:`~repro.core.query.GraphQuery` via
+  :meth:`~repro.core.query.GraphQuery.from_path` (measured markers feed
+  the ``measured_nodes`` set, endpoint openness decides whether the end
+  nodes' self-edges participate), and ``OR``-folds multiple expansions;
+* a :class:`~.ast.JoinExpr` applies the path-join ``⋈`` over the two
+  operands' expansions (:meth:`repro.core.paths.Path.join_composites`)
+  *before* building graph queries, so the joined path's measure
+  accounting is exact;
+* boolean nodes map 1:1 onto :class:`~repro.core.query.And` /
+  :class:`Or` / :class:`AndNot`; an :class:`~.ast.Aggregate` must reduce
+  to an atomic graph query and becomes a
+  :class:`~repro.core.query.PathAggregationQuery`.
+
+Every refusal is a :class:`~repro.errors.QuerySyntaxError` pointing at
+the AST node's span.  :func:`diagnose` additionally checks node labels
+against an engine's :class:`~repro.core.catalog.EdgeCatalog` and
+produces non-fatal did-you-mean diagnostics (an unknown label is a
+legitimate empty-answer query, so it warns instead of failing).
+"""
+
+from __future__ import annotations
+
+import difflib
+import itertools
+from dataclasses import dataclass
+
+from ..core.aggregates import FUNCTIONS
+from ..core.paths import Path, PathJoinError
+from ..core.query import (
+    And,
+    AndNot,
+    GraphQuery,
+    Or,
+    PathAggregationQuery,
+    QueryExpr,
+)
+from ..errors import QuerySyntaxError
+from .ast import (
+    Aggregate,
+    AndExpr,
+    AndNotExpr,
+    ElementSet,
+    JoinExpr,
+    Name,
+    OrExpr,
+    PathPattern,
+    walk_names,
+)
+
+__all__ = ["lower_query", "lower_statement", "Diagnostic", "diagnose"]
+
+# Cap on composite-path expansion: |step1| × |step2| × ... products.
+MAX_EXPANSIONS = 4096
+
+
+def _fail(message: str, span, source: str | None = None) -> None:
+    raise QuerySyntaxError(
+        message, position=getattr(span, "start", None), source=source
+    )
+
+
+@dataclass(frozen=True)
+class _Expansion:
+    """One concrete path drawn from a pattern: the node labels plus the
+    set of labels carrying a measured-node marker."""
+
+    nodes: tuple[str, ...]
+    measured: frozenset
+
+
+def _expand_pattern(pattern: PathPattern, source: str | None) -> list[_Expansion]:
+    """All simple-path expansions of a (possibly composite) pattern, in
+    left-to-right product order."""
+    total = 1
+    for step in pattern.steps:
+        total *= len(step.nodes)
+        if total > MAX_EXPANSIONS:
+            _fail(
+                f"composite path expands to more than {MAX_EXPANSIONS} "
+                "combinations",
+                pattern.span,
+                source,
+            )
+    out: list[_Expansion] = []
+    single = all(not step.is_composite for step in pattern.steps)
+    for combo in itertools.product(*(step.nodes for step in pattern.steps)):
+        labels = tuple(node.name.value for node in combo)
+        if len(set(labels)) != len(labels):
+            if single:
+                _fail(
+                    f"path repeats node {_dup_label(labels)!r} (paths are "
+                    "simple: each node at most once)",
+                    pattern.span,
+                    source,
+                )
+            continue  # composite combo that is not a simple path: skip
+        measured = frozenset(
+            node.name.value for node in combo if node.measured
+        )
+        out.append(_Expansion(labels, measured))
+    if not out:
+        _fail(
+            "composite path has no simple expansion (every combination "
+            "repeats a node)",
+            pattern.span,
+            source,
+        )
+    return out
+
+
+def _dup_label(labels: tuple[str, ...]) -> str:
+    seen = set()
+    for label in labels:
+        if label in seen:
+            return label
+        seen.add(label)
+    return labels[0]  # pragma: no cover - guarded by caller
+
+
+def _paths_of(node, source: str | None) -> list[tuple[Path, frozenset]]:
+    """The composite-path value of a path-level AST node: concrete
+    :class:`Path` objects (openness applied) with their measured sets."""
+    if isinstance(node, PathPattern):
+        out: list[tuple[Path, frozenset]] = []
+        for expansion in _expand_pattern(node, source):
+            if len(expansion.nodes) == 1:
+                label = expansion.nodes[0]
+                if node.open_start or node.open_end:
+                    _fail(
+                        f"an open-ended single node has no elements "
+                        f"(write {label!r} closed, e.g. {label}!)",
+                        node.span,
+                        source,
+                    )
+                if not expansion.measured:
+                    _fail(
+                        f"a path needs at least two nodes (got only "
+                        f"{label!r}); mark a measured node as {label}! "
+                        "or use {(X,X)} for a single node's measure",
+                        node.span,
+                        source,
+                    )
+                out.append((Path.node(label), expansion.measured))
+                continue
+            out.append(
+                (
+                    Path(
+                        expansion.nodes,
+                        open_start=node.open_start,
+                        open_end=node.open_end,
+                    ),
+                    expansion.measured,
+                )
+            )
+        return out
+    if isinstance(node, JoinExpr):
+        left = _paths_of(node.left, source)
+        right = _paths_of(node.right, source)
+        joined: list[tuple[Path, frozenset]] = []
+        for lp, lm in left:
+            for rp, rm in right:
+                if lp.can_join(rp):
+                    joined.append((lp.join(rp), lm | rm))
+        if not joined:
+            try:
+                # Re-raise the core operator's own explanation for the
+                # single-pair case; composite joins get the generic text.
+                if len(left) == 1 and len(right) == 1:
+                    left[0][0].join(right[0][0])
+            except PathJoinError as exc:
+                _fail(f"path join is undefined: {exc}", node.span, source)
+            _fail(
+                "path join produced no result (no end/start node pair "
+                "with the shared measure counted exactly once)",
+                node.span,
+                source,
+            )
+        return joined
+    raise TypeError(f"not a path-level AST node: {node!r}")  # pragma: no cover
+
+
+def _graph_query_of(path: Path, measured: frozenset) -> GraphQuery:
+    if path.is_single_node():
+        node = path.start
+        return GraphQuery([(node, node)])
+    return GraphQuery.from_path(path, measured_nodes=measured)
+
+
+def _or_fold(queries: list[GraphQuery]) -> QueryExpr:
+    expr: QueryExpr = queries[0]
+    for query in queries[1:]:
+        expr = Or(expr, query)
+    return expr
+
+
+def lower_query(node, source: str | None = None) -> QueryExpr:
+    """Lower a query AST to a :class:`~repro.core.query.QueryExpr`."""
+    if isinstance(node, (PathPattern, JoinExpr)):
+        parts = [
+            _graph_query_of(path, measured)
+            for path, measured in _paths_of(node, source)
+        ]
+        return _or_fold(parts)
+    if isinstance(node, ElementSet):
+        return GraphQuery(
+            [(u.value, v.value) for u, v in node.pairs]
+        )
+    if isinstance(node, AndExpr):
+        return And(lower_query(node.left, source), lower_query(node.right, source))
+    if isinstance(node, OrExpr):
+        return Or(lower_query(node.left, source), lower_query(node.right, source))
+    if isinstance(node, AndNotExpr):
+        return AndNot(
+            lower_query(node.left, source), lower_query(node.right, source)
+        )
+    raise TypeError(f"cannot lower {type(node).__name__}")
+
+
+def lower_statement(node, source: str | None = None):
+    """Lower a statement AST: queries pass through :func:`lower_query`,
+    :class:`~.ast.Aggregate` nodes become
+    :class:`~repro.core.query.PathAggregationQuery`."""
+    if not isinstance(node, Aggregate):
+        return lower_query(node, source)
+    function = node.function.value.lower()
+    if function not in FUNCTIONS:
+        suggestion = _closest(function, FUNCTIONS)
+        hint = f"; did you mean {suggestion.upper()!r}?" if suggestion else ""
+        known = ", ".join(sorted(f.upper() for f in FUNCTIONS))
+        _fail(
+            f"unknown aggregate function {node.function.value!r} "
+            f"({known}){hint}",
+            node.function.span,
+            source,
+        )
+    expr = lower_query(node.expr, source)
+    if not isinstance(expr, GraphQuery):
+        _fail(
+            "path aggregation applies to a single graph query, not a "
+            "boolean combination",
+            node.expr.span,
+            source,
+        )
+    return PathAggregationQuery(expr, function)
+
+
+# -- did-you-mean diagnostics -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A non-fatal finding about a parsed query: the label it concerns,
+    its position in the source, and a human message."""
+
+    label: str
+    position: int
+    message: str
+
+
+def _closest(word: str, candidates) -> str | None:
+    matches = difflib.get_close_matches(word, list(candidates), n=1, cutoff=0.6)
+    return matches[0] if matches else None
+
+
+def diagnose(node, known_nodes) -> list[Diagnostic]:
+    """Check every node label of an AST against an engine's catalog.
+
+    ``known_nodes`` is any iterable of labels (typically
+    ``engine.catalog.nodes()``).  Unknown labels produce one diagnostic
+    each (first occurrence), with a did-you-mean suggestion when a close
+    catalog name exists.  Unknown labels are *not* errors — a query over
+    an element never loaded simply has an empty answer — so callers
+    surface these as warnings.
+    """
+    known = {str(label) for label in known_nodes}
+    if not known:
+        return []
+    out: list[Diagnostic] = []
+    seen: set[str] = set()
+    for name in walk_names(node):
+        if name.value in known or name.value in seen:
+            continue
+        seen.add(name.value)
+        suggestion = _closest(name.value, known)
+        message = f"unknown node {name.value!r}"
+        if suggestion is not None:
+            message += f"; did you mean {suggestion!r}?"
+        out.append(Diagnostic(name.value, name.span.start, message))
+    return out
+
+
+def _name_value(name: Name) -> str:  # pragma: no cover - convenience
+    return name.value

@@ -1,0 +1,365 @@
+"""Recursive-descent parser: token stream → typed AST.
+
+Grammar (``OR`` binds loosest; ``JOIN`` only combines paths)::
+
+    statement   := aggregation | query
+    aggregation := FUNCTION query
+    query       := term ( OR term )*
+    term        := factor ( AND [NOT] factor )*
+    factor      := '(' query ')' | elements | pathjoin
+    pathjoin    := path ( (JOIN | '⋈') path )*
+    path        := ['->'] step ( '->' step )* ['->']
+    step        := node | '[' node ( ',' node )* ']'
+    node        := ident ['!']
+    elements    := '{' pair ( ',' pair )* '}'
+    pair        := '(' ident ',' ident ')'
+    ident       := WORD | QUOTED
+
+``AND``, ``OR``, ``NOT`` and ``JOIN`` are reserved words
+(case-insensitive); quote them to use them as node labels.  A statement
+leads with a registered aggregate-function name to be an aggregation —
+a *quoted* leading word is always a node label.
+
+Every error is a :class:`~repro.errors.QuerySyntaxError` carrying the
+offending position and the source text, so callers can render a caret.
+"""
+
+from __future__ import annotations
+
+from ..core.aggregates import FUNCTIONS
+from ..errors import QuerySyntaxError
+from .ast import (
+    Aggregate,
+    AndExpr,
+    AndNotExpr,
+    ElementSet,
+    JoinExpr,
+    Name,
+    Node,
+    OrExpr,
+    PathPattern,
+    QueryNode,
+    Span,
+    Step,
+)
+from .lexer import Token, tokenize
+
+__all__ = [
+    "KEYWORDS",
+    "parse_query_ast",
+    "parse_aggregation_ast",
+    "parse_statement_ast",
+]
+
+#: Reserved words: never bare node labels (quote them instead).
+KEYWORDS = frozenset({"AND", "OR", "NOT", "JOIN"})
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token | None:
+        index = self.index + ahead
+        if index < len(self.tokens):
+            return self.tokens[index]
+        return None
+
+    def next(self, what: str = "more input") -> Token:
+        token = self.peek()
+        if token is None:
+            self.fail_eof(what)
+        self.index += 1
+        return token
+
+    def fail(self, message: str, token: Token | None = None) -> None:
+        if token is None:
+            token = self.peek()
+        if token is None:
+            self.fail_eof(message)
+        raise QuerySyntaxError(
+            f"{message} at position {token.pos}, got {token.text!r}",
+            position=token.pos,
+            source=self.text,
+        )
+
+    def fail_eof(self, what: str) -> None:
+        pos = len(self.text.rstrip())
+        raise QuerySyntaxError(
+            f"unexpected end of query (expected {what})",
+            position=pos,
+            source=self.text,
+        )
+
+    def expect(self, kind: str, what: str) -> Token:
+        token = self.peek()
+        if token is None:
+            self.fail_eof(what)
+        if token.kind != kind:
+            self.fail(f"expected {what}", token)
+        self.index += 1
+        return token
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return (
+            token is not None
+            and token.kind == "word"
+            and token.value.upper() == word
+        )
+
+    def at_join(self) -> bool:
+        token = self.peek()
+        if token is None:
+            return False
+        return token.kind == "join" or (
+            token.kind == "word" and token.value.upper() == "JOIN"
+        )
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_query(self) -> QueryNode:
+        left = self.parse_term()
+        while self.at_keyword("OR"):
+            self.next()
+            right = self.parse_term()
+            left = OrExpr(left, right, Span(left.span.start, right.span.end))
+        return left
+
+    def parse_term(self) -> QueryNode:
+        left = self.parse_factor()
+        while self.at_keyword("AND"):
+            self.next()
+            if self.at_keyword("NOT"):
+                self.next()
+                right = self.parse_factor()
+                left = AndNotExpr(
+                    left, right, Span(left.span.start, right.span.end)
+                )
+            else:
+                right = self.parse_factor()
+                left = AndExpr(
+                    left, right, Span(left.span.start, right.span.end)
+                )
+        return left
+
+    def parse_factor(self) -> QueryNode:
+        token = self.peek()
+        if token is None:
+            self.fail_eof("a path, element set or '('")
+        if token.kind == "lparen":
+            self.next()
+            inner = self.parse_query()
+            self.expect("rparen", "')'")
+            return inner
+        if token.kind == "lbrace":
+            return self.parse_elements()
+        if token.kind in ("word", "quoted", "lbracket", "arrow"):
+            return self.parse_pathjoin()
+        self.fail("expected a path, element set or '('", token)
+
+    def parse_pathjoin(self) -> PathPattern | JoinExpr:
+        left: PathPattern | JoinExpr = self.parse_path()
+        while self.at_join():
+            self.next()
+            right = self.parse_path()
+            left = JoinExpr(left, right, Span(left.span.start, right.span.end))
+        return left
+
+    def parse_path(self) -> PathPattern:
+        start_token = self.peek()
+        if start_token is None:
+            self.fail_eof("a path")
+        open_start = False
+        if start_token.kind == "arrow":
+            open_start = True
+            self.next()
+        steps = [self.parse_step()]
+        open_end = False
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "arrow":
+                break
+            self.next()
+            nxt = self.peek()
+            if (
+                nxt is None
+                or nxt.kind not in ("word", "quoted", "lbracket")
+                or (nxt.kind == "word" and nxt.value.upper() in KEYWORDS)
+            ):
+                # trailing arrow: the path's end is open
+                open_end = True
+                break
+            steps.append(self.parse_step())
+        end = steps[-1].span.end
+        if open_end:
+            token = self.tokens[self.index - 1]
+            end = token.pos + len(token.text)
+        return PathPattern(
+            tuple(steps),
+            open_start=open_start,
+            open_end=open_end,
+            span=Span(start_token.pos, end),
+        )
+
+    def parse_step(self) -> Step:
+        token = self.peek()
+        if token is None:
+            self.fail_eof("a node name")
+        if token.kind == "lbracket":
+            self.next()
+            closer = self.peek()
+            if closer is not None and closer.kind == "rbracket":
+                self.fail("a composite step needs at least one node", closer)
+            nodes = [self.parse_node()]
+            while True:
+                nxt = self.peek()
+                if nxt is not None and nxt.kind == "comma":
+                    self.next()
+                    nodes.append(self.parse_node())
+                else:
+                    break
+            close = self.expect("rbracket", "']'")
+            return Step(tuple(nodes), Span(token.pos, close.pos + 1))
+        node = self.parse_node()
+        return Step((node,), node.span)
+
+    def parse_node(self) -> Node:
+        name = self.parse_ident("a node name")
+        measured = False
+        end = name.span.end
+        token = self.peek()
+        if token is not None and token.kind == "bang":
+            self.next()
+            measured = True
+            end = token.pos + 1
+        return Node(name, measured=measured, span=Span(name.span.start, end))
+
+    def parse_ident(self, what: str) -> Name:
+        token = self.peek()
+        if token is None:
+            self.fail_eof(what)
+        if token.kind == "quoted":
+            self.next()
+            return Name(
+                token.value,
+                Span(token.pos, token.pos + len(token.text)),
+                quoted=True,
+            )
+        if token.kind == "word":
+            if token.value.upper() in KEYWORDS:
+                self.fail(
+                    f"expected {what} (quote {token.value!r} to use a "
+                    "keyword as a label)",
+                    token,
+                )
+            self.next()
+            return Name(token.value, Span(token.pos, token.pos + len(token.text)))
+        self.fail(f"expected {what}", token)
+
+    def parse_elements(self) -> ElementSet:
+        opener = self.expect("lbrace", "'{'")
+        closer = self.peek()
+        if closer is not None and closer.kind == "rbrace":
+            self.fail("an element set cannot be empty", closer)
+        pairs = [self.parse_pair()]
+        while True:
+            token = self.peek()
+            if token is not None and token.kind == "comma":
+                self.next()
+                pairs.append(self.parse_pair())
+            else:
+                break
+        close = self.expect("rbrace", "'}'")
+        return ElementSet(tuple(pairs), Span(opener.pos, close.pos + 1))
+
+    def parse_pair(self) -> tuple[Name, Name]:
+        self.expect("lparen", "'(' opening a (u,v) pair")
+        u = self.parse_ident("a node name")
+        self.expect("comma", "','")
+        v = self.parse_ident("a node name")
+        self.expect("rparen", "')' closing the (u,v) pair")
+        return (u, v)
+
+    def finish(self) -> None:
+        token = self.peek()
+        if token is not None:
+            raise QuerySyntaxError(
+                f"unexpected {token.text!r} at position {token.pos} "
+                "(trailing input after a complete query)",
+                position=token.pos,
+                source=self.text,
+            )
+
+    def empty(self) -> bool:
+        return not self.tokens
+
+
+def _checked(parser: _Parser, what: str) -> None:
+    if parser.empty():
+        raise QuerySyntaxError(
+            f"empty query (expected {what})", position=0, source=parser.text
+        )
+
+
+def parse_query_ast(text: str) -> QueryNode:
+    """Parse query text into an AST (no aggregation head allowed)."""
+    parser = _Parser(text)
+    _checked(parser, "a path, element set or '('")
+    expr = parser.parse_query()
+    parser.finish()
+    return expr
+
+
+def parse_aggregation_ast(text: str) -> Aggregate:
+    """Parse ``FUNC <query>`` into an aggregation AST.
+
+    The leading word must name a registered aggregate function
+    (case-insensitive); everything else is a syntax error with a
+    position.
+    """
+    parser = _Parser(text)
+    _checked(parser, "an aggregate function name")
+    token = parser.peek()
+    if (
+        token is None
+        or token.kind != "word"
+        or token.value.lower() not in FUNCTIONS
+    ):
+        known = ", ".join(sorted(f.upper() for f in FUNCTIONS))
+        raise QuerySyntaxError(
+            f"an aggregation must start with a function name ({known})",
+            position=token.pos if token is not None else 0,
+            source=text,
+        )
+    parser.next()
+    function = Name(
+        token.value, Span(token.pos, token.pos + len(token.text))
+    )
+    expr = parser.parse_query()
+    parser.finish()
+    return Aggregate(function, expr, Span(token.pos, expr.span.end))
+
+
+def parse_statement_ast(text: str) -> QueryNode | Aggregate:
+    """Parse one workload statement, auto-detecting the kind.
+
+    A statement whose first token is a bare word naming a registered
+    aggregate function is an aggregation; anything else is a query.  A
+    *quoted* leading word is always a node label (that is how a label
+    that happens to spell ``sum`` stays a query).
+    """
+    parser = _Parser(text)
+    _checked(parser, "a query")
+    head = parser.peek()
+    if (
+        head is not None
+        and head.kind == "word"
+        and head.value.lower() in FUNCTIONS
+    ):
+        return parse_aggregation_ast(text)
+    return parse_query_ast(text)

@@ -1,0 +1,253 @@
+"""Canonical unparser: query objects (and ASTs) → query text.
+
+Two levels:
+
+* :func:`unparse_ast` renders a :mod:`repro.lang.ast` tree back to
+  source, preserving surface structure (composite steps, open ends,
+  joins).  ``parse(unparse_ast(t))`` lowers to the same query as ``t`` —
+  the property the grammar fuzzer exercises.
+* :func:`unparse` renders a *core* query object
+  (:class:`~repro.core.query.GraphQuery`, boolean combinators,
+  :class:`~repro.core.query.PathAggregationQuery`) to its **canonical**
+  text.  The canonical form is unique per query value:
+  ``lower(parse(unparse(q))) == q`` and
+  ``unparse(lower(parse(text))) `` is a fixpoint of itself
+  (idempotency), which is what lets EXPLAIN output and formatted
+  workload files round-trip.
+
+Canonical-form rules:
+
+* a query whose proper edges chain into one simple path (and whose
+  measured nodes all lie on it) renders as the path ``A -> D! -> E``,
+  with ``!`` marking measured nodes; a lone self-edge ``{(X,X)}``
+  renders as ``X!``;
+* anything else renders as a sorted element set ``{(C,H), (F,J)}``;
+* identifiers render bare exactly when the lexer would read them back as
+  one word and they don't collide with a keyword or aggregate-function
+  name; everything else is quoted with escapes (this is the fix for the
+  historical ``hub-1``-style hyphen ambiguity: ``unparse`` quotes any
+  label the lexer could mis-split);
+* parentheses are emitted only where precedence demands them
+  (``OR`` loosest, operators left-associative).
+
+Only string labels have a text form; anything else raises
+:class:`UnparseError` (or returns ``None`` from :func:`try_unparse`).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core.aggregates import FUNCTIONS
+from ..core.query import (
+    And,
+    AndNot,
+    GraphQuery,
+    Or,
+    PathAggregationQuery,
+)
+from .ast import (
+    Aggregate,
+    AndExpr,
+    AndNotExpr,
+    ElementSet,
+    JoinExpr,
+    Name,
+    Node,
+    OrExpr,
+    PathPattern,
+    Step,
+)
+from .parser import KEYWORDS
+
+__all__ = [
+    "UnparseError",
+    "SAFE_BARE_RE",
+    "render_name",
+    "unparse",
+    "try_unparse",
+    "unparse_ast",
+]
+
+
+class UnparseError(ValueError):
+    """The object has no text form (e.g. a non-string node label)."""
+
+
+#: Exactly the lexer's bare-word rule: a label is safe to print unquoted
+#: only when the tokenizer reads the printed text back as one word token.
+SAFE_BARE_RE = re.compile(r"(?:[A-Za-z0-9_.]|-(?!>))+")
+
+_ESCAPE_MAP = {
+    "\\": "\\\\",
+    "'": "\\'",
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+}
+
+
+def render_name(label) -> str:
+    """One identifier, quoted iff printing it bare would change meaning.
+
+    Bare is only safe when the text is a single word token *and* is not
+    a reserved keyword *and* does not spell an aggregate-function name
+    (a leading bare ``sum`` would flip a statement into an aggregation).
+    """
+    if not isinstance(label, str):
+        raise UnparseError(
+            f"only string node labels have a text form, got {label!r}"
+        )
+    if (
+        label
+        and SAFE_BARE_RE.fullmatch(label)
+        and label.upper() not in KEYWORDS
+        and label.lower() not in FUNCTIONS
+    ):
+        return label
+    body = "".join(_ESCAPE_MAP.get(ch, ch) for ch in label)
+    return f"'{body}'"
+
+
+# -- canonical form of core query objects -------------------------------------
+
+
+def _chain_of(query: GraphQuery) -> list | None:
+    """The node order of the query's proper edges when they form exactly
+    one simple path covering every edge; None otherwise."""
+    proper = query.edges()
+    if not proper:
+        return None
+    succ: dict = {}
+    pred: dict = {}
+    for u, v in proper:
+        if u in succ or v in pred:
+            return None  # branching: not a single path
+        succ[u] = v
+        pred[v] = u
+    starts = [u for u in succ if u not in pred]
+    if len(starts) != 1:
+        return None  # a cycle, or disconnected pieces
+    chain = [starts[0]]
+    while chain[-1] in succ:
+        chain.append(succ[chain[-1]])
+        if len(chain) > len(proper) + 1:  # pragma: no cover - defensive
+            return None
+    if len(chain) != len(proper) + 1:
+        return None  # disconnected components
+    return chain
+
+
+def _unparse_graph_query(query: GraphQuery) -> str:
+    measured = query.measured_nodes()
+    chain = _chain_of(query)
+    if chain is not None and measured <= set(chain):
+        parts = [
+            render_name(node) + ("!" if node in measured else "")
+            for node in chain
+        ]
+        return " -> ".join(parts)
+    if chain is None and len(measured) == 1 and len(query.elements) == 1:
+        (node,) = measured
+        return render_name(node) + "!"
+    pairs = sorted(
+        (render_name(u), render_name(v)) for u, v in query.elements
+    )
+    inner = ", ".join(f"({u},{v})" for u, v in pairs)
+    return "{" + inner + "}"
+
+
+def _unparse_expr(expr) -> str:
+    if isinstance(expr, GraphQuery):
+        return _unparse_graph_query(expr)
+    if isinstance(expr, Or):
+        left = _unparse_expr(expr.left)
+        right = _unparse_expr(expr.right)
+        if isinstance(expr.right, Or):
+            right = f"({right})"
+        return f"{left} OR {right}"
+    if isinstance(expr, (And, AndNot)):
+        left = _unparse_expr(expr.left)
+        right = _unparse_expr(expr.right)
+        if isinstance(expr.left, Or):
+            left = f"({left})"
+        if isinstance(expr.right, (And, Or, AndNot)):
+            right = f"({right})"
+        word = "AND NOT" if isinstance(expr, AndNot) else "AND"
+        return f"{left} {word} {right}"
+    raise UnparseError(f"cannot unparse {type(expr).__name__}: {expr!r}")
+
+
+def unparse(obj) -> str:
+    """Canonical text of a query expression or aggregation.
+
+    Satisfies ``lower(parse(unparse(q))) == q`` for every query built
+    from string labels; raises :class:`UnparseError` otherwise.
+    """
+    if isinstance(obj, PathAggregationQuery):
+        return f"{obj.function.upper()} {_unparse_expr(obj.query)}"
+    return _unparse_expr(obj)
+
+
+def try_unparse(obj) -> str | None:
+    """:func:`unparse`, or None for objects with no text form."""
+    try:
+        return unparse(obj)
+    except UnparseError:
+        return None
+
+
+# -- surface form of AST nodes -------------------------------------------------
+
+
+def _render_node(node: Node) -> str:
+    return render_name(node.name.value) + ("!" if node.measured else "")
+
+
+def _render_step(step: Step) -> str:
+    if step.is_composite:
+        return "[" + ", ".join(_render_node(n) for n in step.nodes) + "]"
+    return _render_node(step.nodes[0])
+
+
+def _render_path(path: PathPattern) -> str:
+    text = " -> ".join(_render_step(s) for s in path.steps)
+    if path.open_start:
+        text = "-> " + text
+    if path.open_end:
+        text = text + " ->"
+    return text
+
+
+def unparse_ast(node) -> str:
+    """Source text for an AST node; re-parses to an equal AST."""
+    if isinstance(node, Aggregate):
+        return f"{node.function.value.upper()} {unparse_ast(node.expr)}"
+    if isinstance(node, PathPattern):
+        return _render_path(node)
+    if isinstance(node, JoinExpr):
+        return f"{unparse_ast(node.left)} JOIN {_render_path(node.right)}"
+    if isinstance(node, ElementSet):
+        inner = ", ".join(
+            f"({render_name(u.value)},{render_name(v.value)})"
+            for u, v in node.pairs
+        )
+        return "{" + inner + "}"
+    if isinstance(node, OrExpr):
+        left = unparse_ast(node.left)
+        right = unparse_ast(node.right)
+        if isinstance(node.right, OrExpr):
+            right = f"({right})"
+        return f"{left} OR {right}"
+    if isinstance(node, (AndExpr, AndNotExpr)):
+        left = unparse_ast(node.left)
+        right = unparse_ast(node.right)
+        if isinstance(node.left, OrExpr):
+            left = f"({left})"
+        if isinstance(node.right, (AndExpr, OrExpr, AndNotExpr)):
+            right = f"({right})"
+        word = "AND NOT" if isinstance(node, AndNotExpr) else "AND"
+        return f"{left} {word} {right}"
+    if isinstance(node, Name):  # pragma: no cover - convenience
+        return render_name(node.value)
+    raise UnparseError(f"cannot unparse {type(node).__name__}: {node!r}")

@@ -1,0 +1,133 @@
+"""Workload files: line-oriented statements, comments, and formatting.
+
+A workload file is one statement per line; blank lines and ``#``
+comments (whole-line or trailing) are ignored by execution and preserved
+verbatim by the formatter.  :func:`parse_workload` attaches 1-based line
+numbers to both results and errors; :func:`format_workload` rewrites
+every statement to its canonical text (``repro fmt``), which is
+idempotent because the canonical form is a fixpoint of
+parse → lower → unparse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import QuerySyntaxError
+from .lexer import line_and_column, tokenize
+from .lower import lower_statement
+from .parser import parse_statement_ast
+from .unparse import unparse
+
+__all__ = [
+    "WorkloadStatement",
+    "parse_workload",
+    "iter_workload_lines",
+    "format_workload",
+    "render_syntax_error",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadStatement:
+    """One executable statement of a workload file."""
+
+    line: int  #: 1-based line number in the file
+    text: str  #: the statement's source text (comment stripped)
+    query: object  #: the lowered QueryExpr / PathAggregationQuery
+
+
+def _split_comment(line: str) -> tuple[str, str | None]:
+    """``(code, comment)`` — the comment includes its ``#``; ``code`` is
+    stripped.  A ``#`` inside a quoted label does not start a comment."""
+    for token in tokenize(line, keep_comments=True):
+        if token.kind == "comment":
+            return line[: token.pos].strip(), line[token.pos :].rstrip()
+    return line.strip(), None
+
+
+def _with_line(exc: QuerySyntaxError, lineno: int) -> QuerySyntaxError:
+    out = QuerySyntaxError(
+        str(exc), position=exc.position, source=exc.source, line=lineno
+    )
+    return out
+
+
+def iter_workload_lines(text: str):
+    """Yield ``(lineno, code)`` for every non-empty statement line.
+
+    Raises :class:`QuerySyntaxError` (with ``line`` set) when a line
+    cannot even be tokenized — e.g. an unclosed quote.
+    """
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        try:
+            code, _ = _split_comment(raw)
+        except QuerySyntaxError as exc:
+            raise _with_line(exc, lineno) from None
+        if code:
+            yield lineno, code
+
+
+def parse_workload(text: str) -> list[WorkloadStatement]:
+    """Parse a whole workload file into lowered statements.
+
+    Any syntax error is re-raised with the offending 1-based ``line``
+    attached, so batch consumers can report ``line 7: …`` with a caret.
+    """
+    out: list[WorkloadStatement] = []
+    for lineno, code in iter_workload_lines(text):
+        try:
+            query = lower_statement(parse_statement_ast(code), source=code)
+        except QuerySyntaxError as exc:
+            raise _with_line(exc, lineno) from None
+        out.append(WorkloadStatement(lineno, code, query))
+    return out
+
+
+def format_workload(text: str) -> str:
+    """Canonicalize every statement of a workload file.
+
+    Statements are rewritten to their canonical text; blank lines and
+    comments (whole-line and trailing) survive verbatim.  The result
+    always ends with a newline, and formatting is idempotent.
+    """
+    out: list[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        try:
+            code, comment = _split_comment(raw)
+            if not code:
+                out.append(raw.rstrip())
+                continue
+            canonical = unparse(
+                lower_statement(parse_statement_ast(code), source=code)
+            )
+        except QuerySyntaxError as exc:
+            raise _with_line(exc, lineno) from None
+        if comment is not None:
+            out.append(f"{canonical}  {comment}")
+        else:
+            out.append(canonical)
+    return "\n".join(out) + "\n"
+
+
+def render_syntax_error(exc: QuerySyntaxError) -> str:
+    """The CLI's caret-annotated rendering of a syntax error.
+
+    One line of message (prefixed ``line N:`` for workload errors), then
+    — when the error knows its source and position — the offending
+    source line with a ``^`` column marker::
+
+        line 3: unexpected ')' at position 8 (trailing input …)
+          A -> B )
+                 ^
+    """
+    message = str(exc)
+    prefix = f"line {exc.line}: " if exc.line is not None else ""
+    lines = [prefix + message]
+    if exc.source is not None and exc.position is not None:
+        src_lineno, column = line_and_column(exc.source, exc.position)
+        src_lines = exc.source.splitlines() or [""]
+        src_line = src_lines[min(src_lineno, len(src_lines)) - 1]
+        lines.append("  " + src_line)
+        lines.append("  " + " " * (column - 1) + "^")
+    return "\n".join(lines)

@@ -138,10 +138,24 @@ def explain(engine, query, analyze: bool = False, fmt: str = "text") -> str:
     ``fmt`` is ``"text"`` or ``"json"``; both renderings are deterministic
     for a fixed engine state (the analyze trace adds wall-clock timings,
     which of course vary run to run).
+
+    Both renderings lead with the query's **canonical text** (the
+    :func:`repro.lang.unparse` spelling, which re-parses to the same
+    query) when the query has one — text output as a ``query:`` first
+    line, JSON output as a ``"query_text"`` key.  The plan dict itself
+    stays exactly ``engine.physical_plan(query).to_dict()``.
     """
+    from ..lang import try_unparse
+
     plan = explain_dict(engine, query, analyze=analyze)
+    canonical = try_unparse(query)
     if fmt == "json":
+        if canonical is not None:
+            plan = dict(plan, query_text=canonical)
         return json.dumps(plan, indent=2, sort_keys=True)
     if fmt == "text":
-        return render_plan_text(plan)
+        text = render_plan_text(plan)
+        if canonical is not None:
+            text = f"query: {canonical}\n{text}"
+        return text
     raise ValueError(f"unknown explain format {fmt!r}")

@@ -34,7 +34,7 @@ from ..core.aggregates import FUNCTIONS
 from ..core.engine import GraphQueryResult, PathAggregationResult
 from ..core.paths import Path
 from ..core.query import QueryExpr
-from ..dsl import parse_aggregation, parse_query
+from ..lang import parse_statement
 from ..errors import (
     AdmissionRejectedError,
     CircuitOpenError,
@@ -137,10 +137,9 @@ def build_query(payload: dict) -> QueryExpr | PathAggregationQuery:
         if not isinstance(text, str):
             raise WireError(400, "bad-query", '"q" must be a DSL string')
         try:
-            head = text.split(maxsplit=1)[0].lower() if text.split() else ""
-            if head in FUNCTIONS:
-                return parse_aggregation(text)
-            return parse_query(text)
+            # repro.lang auto-detects aggregations (a leading bare word
+            # naming a registered aggregate function).
+            return parse_statement(text)
         except QuerySyntaxError as exc:
             raise WireError(400, "bad-query", str(exc)) from None
     elements = payload.get("elements")

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 from ..core import PathAggregationQuery
 from ..errors import AdmissionRejectedError, ReproError
+from ..lang import try_unparse
 from ..obs import MetricsRegistry
 from ..resilience import CancelToken, QueryContext
 from . import codec
@@ -622,11 +623,19 @@ class ReproServer:
                 return self.executor.explain(query, analyze=analyze, fmt=fmt)
 
         text = await self._in_engine(work)
+        # The canonical spelling re-parses to the same plan, so clients
+        # can round-trip what they asked for (None for non-text labels).
+        canonical = try_unparse(query)
         return await self._send_json(
             writer,
             request,
             200,
-            {"explain": text, "fmt": fmt, "epoch": self.executor.epoch},
+            {
+                "explain": text,
+                "fmt": fmt,
+                "epoch": self.executor.epoch,
+                "query": canonical,
+            },
         )
 
     async def _handle_append(

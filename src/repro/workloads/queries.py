@@ -23,6 +23,8 @@ __all__ = [
     "sample_path_queries",
     "sample_dense_queries",
     "as_aggregate_queries",
+    "queries_to_text",
+    "queries_from_text",
 ]
 
 
@@ -126,3 +128,29 @@ def as_aggregate_queries(
     """Wrap graph queries into path-aggregation queries (SUM by default,
     the function used throughout the paper's experiments)."""
     return [PathAggregationQuery(q, function) for q in queries]
+
+
+def queries_to_text(queries: Sequence) -> str:
+    """Render a query pool as a workload file: one canonical DSL
+    statement per line (the form ``repro batch`` and
+    :func:`queries_from_text` read back).
+
+    Generated pools use string node labels, so every query has a text
+    form; :class:`~repro.lang.UnparseError` propagates for anything that
+    does not (e.g. integer-labelled ad-hoc queries).
+    """
+    from ..lang import unparse
+
+    return "".join(unparse(q) + "\n" for q in queries)
+
+
+def queries_from_text(text: str) -> list:
+    """Parse a workload file back into query objects, preserving order.
+
+    Inverse of :func:`queries_to_text` up to query equality:
+    ``queries_from_text(queries_to_text(pool)) == pool`` for any pool of
+    string-labelled queries.
+    """
+    from ..lang import parse_workload
+
+    return [stmt.query for stmt in parse_workload(text)]

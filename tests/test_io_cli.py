@@ -224,3 +224,68 @@ class TestObservabilityCli:
         capsys.readouterr()
         assert main(["metrics", str(db)]) == 0
         assert "(no metrics recorded)" in capsys.readouterr().out
+
+
+class TestCliFmt:
+    WORKLOAD = (
+        "# paper queries\n"
+        "\n"
+        "a->b ->   c\n"
+        "{(D,D)}\n"
+        "sum {(A,B), (B,C)}  # Q1\n"
+    )
+    CANONICAL = (
+        "# paper queries\n"
+        "\n"
+        "a -> b -> c\n"
+        "D!\n"
+        "SUM A -> B -> C  # Q1\n"
+    )
+
+    def test_formats_in_place(self, tmp_path, capsys):
+        path = tmp_path / "queries.txt"
+        path.write_text(self.WORKLOAD)
+        assert main(["fmt", str(path)]) == 0
+        assert path.read_text() == self.CANONICAL
+        assert f"formatted {path}" in capsys.readouterr().err
+
+    def test_idempotent(self, tmp_path, capsys):
+        path = tmp_path / "queries.txt"
+        path.write_text(self.WORKLOAD)
+        assert main(["fmt", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["fmt", str(path)]) == 0
+        assert path.read_text() == self.CANONICAL
+        # second run is a no-op: nothing reformatted
+        assert "formatted" not in capsys.readouterr().err
+
+    def test_check_mode_reports_without_writing(self, tmp_path, capsys):
+        path = tmp_path / "queries.txt"
+        path.write_text(self.WORKLOAD)
+        assert main(["fmt", "--check", str(path)]) == 1
+        assert path.read_text() == self.WORKLOAD
+        assert f"would reformat {path}" in capsys.readouterr().out
+        path.write_text(self.CANONICAL)
+        assert main(["fmt", "--check", str(path)]) == 0
+
+    def test_stdout_mode(self, tmp_path, capsys):
+        path = tmp_path / "queries.txt"
+        path.write_text(self.WORKLOAD)
+        capsys.readouterr()
+        assert main(["fmt", "--stdout", str(path)]) == 0
+        assert capsys.readouterr().out == self.CANONICAL
+        assert path.read_text() == self.WORKLOAD
+
+    def test_syntax_error_reports_file_and_line(self, tmp_path, capsys):
+        path = tmp_path / "queries.txt"
+        path.write_text("a -> b\na -> -> c\n")
+        assert main(["fmt", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert str(path) in err
+        assert "line 2" in err
+
+    def test_examples_file_is_already_canonical(self, capsys):
+        from pathlib import Path as FsPath
+
+        examples = FsPath(__file__).parent.parent / "examples" / "figure2_queries.txt"
+        assert main(["fmt", "--check", str(examples)]) == 0

@@ -1,0 +1,326 @@
+"""Property fuzzing for the query-language front-end.
+
+Two generators, one law each:
+
+* a *core-object* generator builds random ``GraphQuery`` /
+  ``PathAggregationQuery`` trees and checks the tentpole round trip
+  ``lower(parse(unparse(q))) == q``;
+* a *surface-AST* generator builds random typed ASTs (markers, open
+  ends, composites, joins) and checks that unparse → parse → lower
+  agrees with lowering the generated AST directly, plus canonical
+  idempotency.
+
+A bounded, seeded (non-hypothesis) differential then runs a fuzzed
+query pool through unparse → parse → execute under serial, thread and
+process exec modes and demands bit-identical results against direct
+Python-object construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import GraphQuery, PathAggregationQuery
+from repro.core.query import And, AndNot, Or
+from repro.lang import canonical, parse_statement, unparse
+from repro.lang.ast import (
+    NO_SPAN,
+    Aggregate,
+    AndExpr,
+    AndNotExpr,
+    JoinExpr,
+    Name,
+    Node,
+    OrExpr,
+    PathPattern,
+    Step,
+)
+from repro.lang.lower import lower_statement
+from repro.lang.unparse import unparse_ast
+
+FUZZ_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Labels stress the quoting layer: bare-safe words, hyphens (the
+# ambiguity regression), keywords, function names, and escape-needing
+# strings.  Distinctness within a path is handled per-strategy.
+LABELS = st.one_of(
+    st.from_regex(r"[A-Za-z][A-Za-z0-9_.]{0,5}", fullmatch=True),
+    st.sampled_from(
+        ["hub-1", "a-b-c", "AND", "or", "JOIN", "not", "sum", "AVG", "->x"]
+    ),
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",), max_codepoint=0x2FF),
+        min_size=1,
+        max_size=6,
+    ),
+)
+
+
+# --- core-object strategies -------------------------------------------------
+
+
+@st.composite
+def chain_queries(draw):
+    nodes = draw(st.lists(LABELS, min_size=2, max_size=5, unique=True))
+    measured = draw(st.sets(st.sampled_from(nodes), max_size=len(nodes)))
+    elements = list(zip(nodes, nodes[1:]))
+    elements += [(n, n) for n in nodes if n in measured]
+    return GraphQuery(elements)
+
+
+@st.composite
+def element_set_queries(draw):
+    pairs = draw(
+        st.lists(st.tuples(LABELS, LABELS), min_size=1, max_size=4, unique=True)
+    )
+    return GraphQuery(pairs)
+
+
+@st.composite
+def single_node_queries(draw):
+    label = draw(LABELS)
+    return GraphQuery([(label, label)])
+
+
+LEAF_QUERIES = st.one_of(chain_queries(), element_set_queries(), single_node_queries())
+
+
+@st.composite
+def boolean_queries(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        return draw(LEAF_QUERIES)
+    op = draw(st.sampled_from([And, Or, AndNot]))
+    return op(
+        draw(boolean_queries(depth=depth - 1)), draw(boolean_queries(depth=depth - 1))
+    )
+
+
+STATEMENTS = st.one_of(
+    boolean_queries(),
+    st.builds(
+        PathAggregationQuery,
+        LEAF_QUERIES,
+        st.sampled_from(["sum", "avg", "min", "max", "count"]),
+    ),
+)
+
+
+class TestCoreObjectRoundtrip:
+    @FUZZ_SETTINGS
+    @given(STATEMENTS)
+    def test_unparse_parse_lower_is_identity(self, query):
+        text = unparse(query)
+        assert parse_statement(text) == query
+
+    @FUZZ_SETTINGS
+    @given(STATEMENTS)
+    def test_canonical_text_is_idempotent(self, query):
+        text = unparse(query)
+        assert canonical(text) == text
+
+
+# --- surface-AST strategies -------------------------------------------------
+
+
+def _node(label, measured=False):
+    return Node(Name(label, NO_SPAN, quoted=False), measured, NO_SPAN)
+
+
+@st.composite
+def path_patterns(draw):
+    labels = draw(st.lists(LABELS, min_size=2, max_size=4, unique=True))
+    steps = []
+    for label in labels:
+        measured = draw(st.booleans())
+        steps.append(Step((_node(label, measured),), NO_SPAN))
+    # composite first step over spare labels, when available
+    spare = draw(st.lists(LABELS, max_size=2, unique=True))
+    extra = [s for s in spare if s not in labels]
+    if extra and draw(st.booleans()):
+        head = steps[0].nodes + tuple(_node(s) for s in extra)
+        steps[0] = Step(head, NO_SPAN)
+    open_start = draw(st.booleans())
+    open_end = draw(st.booleans())
+    return PathPattern(tuple(steps), open_start, open_end, NO_SPAN)
+
+
+@st.composite
+def surface_asts(draw, depth=1):
+    if depth == 0 or draw(st.booleans()):
+        return draw(path_patterns())
+    op = draw(st.sampled_from([AndExpr, OrExpr, AndNotExpr]))
+    return op(
+        draw(surface_asts(depth=depth - 1)), draw(surface_asts(depth=depth - 1)), NO_SPAN
+    )
+
+
+@st.composite
+def joined_paths(draw):
+    # a JOIN whose shared node makes the sides composable: left open end,
+    # right closed start at the same node, disjoint remainders.
+    labels = draw(st.lists(LABELS, min_size=5, max_size=5, unique=True))
+    a, b, c, d, e = labels
+    shared_measured = draw(st.booleans())
+    left = PathPattern(
+        tuple(Step((_node(x),), NO_SPAN) for x in (a, b, c)),
+        False,
+        True,
+        NO_SPAN,
+    )
+    right = PathPattern(
+        (
+            Step((_node(c, shared_measured),), NO_SPAN),
+            Step((_node(d),), NO_SPAN),
+            Step((_node(e),), NO_SPAN),
+        ),
+        False,
+        False,
+        NO_SPAN,
+    )
+    return JoinExpr(left, right, NO_SPAN)
+
+
+SURFACE_STATEMENTS = st.one_of(
+    surface_asts(),
+    joined_paths(),
+    st.builds(
+        lambda fn, expr: Aggregate(Name(fn, NO_SPAN, quoted=False), expr, NO_SPAN),
+        st.sampled_from(["sum", "avg", "min", "max", "count"]),
+        path_patterns(),
+    ),
+)
+
+
+def _lower_or_none(ast):
+    from repro.errors import QuerySyntaxError
+
+    try:
+        return lower_statement(ast, source="")
+    except QuerySyntaxError:
+        return None
+
+
+class TestSurfaceAstRoundtrip:
+    @FUZZ_SETTINGS
+    @given(SURFACE_STATEMENTS)
+    def test_render_parse_lower_matches_direct_lowering(self, ast):
+        direct = _lower_or_none(ast)
+        text = unparse_ast(ast)
+        if direct is None:
+            with pytest.raises(Exception):
+                parse_statement(text)
+            return
+        assert parse_statement(text) == direct
+
+    @FUZZ_SETTINGS
+    @given(SURFACE_STATEMENTS)
+    def test_canonical_of_rendered_surface_is_stable(self, ast):
+        if _lower_or_none(ast) is None:
+            return
+        once = canonical(unparse_ast(ast))
+        assert canonical(once) == once
+
+
+# --- exec-mode differential -------------------------------------------------
+
+
+# The NY corpus uses integer node IDs; the text form needs string
+# labels, so the differential remaps every label to "n<id>" on both the
+# record and the query side.
+
+
+def _as_text_edge(edge):
+    u, v = edge
+    return (f"n{u}", f"n{v}")
+
+
+def _as_text_query(query):
+    if isinstance(query, PathAggregationQuery):
+        return PathAggregationQuery(_as_text_query(query.query), query.function)
+    return GraphQuery(_as_text_edge(e) for e in query.elements)
+
+
+@pytest.fixture(scope="module")
+def diff_corpus():
+    from repro.workloads import build_dataset
+
+    return build_dataset("NY", n_records=120, seed=31)
+
+
+@pytest.fixture(scope="module")
+def diff_queries(diff_corpus):
+    from repro.workloads import as_aggregate_queries, sample_path_queries
+
+    queries = sample_path_queries(diff_corpus, n_queries=8, n_edges=3, seed=32)
+    pool = list(queries) + as_aggregate_queries(queries[:4])
+    return [_as_text_query(q) for q in pool]
+
+
+def _fresh_engine(corpus, shards=3):
+    from repro.core import GraphAnalyticsEngine, GraphRecord
+
+    engine = GraphAnalyticsEngine(shards=shards)
+    engine.load_records(
+        GraphRecord(
+            rec.record_id,
+            {_as_text_edge(e): w for e, w in rec.measures().items()},
+        )
+        for rec in corpus.to_records()
+    )
+    return engine
+
+
+def _result_key(result):
+    """Bit-exact fingerprint: matching records plus every measure array."""
+    if hasattr(result, "path_values"):  # PathAggregationResult
+        values = tuple(
+            (repr(path), arr.tobytes())
+            for path, arr in sorted(
+                result.path_values.items(), key=lambda kv: repr(kv[0])
+            )
+        )
+        return ("agg", tuple(result.record_ids), values)
+    measures = tuple(
+        (edge, arr.tobytes()) for edge, arr in sorted(result.measures.items())
+    )
+    return ("query", tuple(result.record_ids), measures)
+
+
+class TestExecModeDifferential:
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_text_pipeline_matches_direct_objects(self, mode, diff_corpus, diff_queries):
+        from repro.exec import QueryExecutor
+
+        engine = _fresh_engine(diff_corpus)
+        executor = QueryExecutor(engine, jobs=1, exec_mode=mode, workers=2)
+        try:
+            for query in diff_queries:
+                reparsed = parse_statement(unparse(query))
+                assert reparsed == query
+                direct = executor.run_one(query)
+                via_text = executor.run_one(reparsed)
+                assert _result_key(via_text) == _result_key(direct)
+        finally:
+            executor.close()
+
+    def test_modes_agree_with_each_other(self, diff_corpus, diff_queries):
+        from repro.exec import QueryExecutor
+
+        engine = _fresh_engine(diff_corpus)
+        keys = {}
+        for mode in ("serial", "thread", "process"):
+            executor = QueryExecutor(engine, jobs=1, exec_mode=mode, workers=2)
+            try:
+                keys[mode] = [
+                    _result_key(executor.run_one(parse_statement(unparse(q))))
+                    for q in diff_queries
+                ]
+            finally:
+                executor.close()
+        assert keys["serial"] == keys["thread"] == keys["process"]
